@@ -1,0 +1,402 @@
+//! Piecewise-linear curves for battery characteristic maps.
+//!
+//! The paper's emulator (Section 4.3) parameterizes every cell with two
+//! measured curves: open-circuit potential vs state of charge (Figure 8b)
+//! and internal resistance vs state of charge (Figure 8c). The RBL policies
+//! additionally need the *derivative* of the DCIR curve (`δi` in Section
+//! 3.3), so [`Curve`] exposes both interpolation and slope queries.
+
+use crate::error::BatteryError;
+
+/// A piecewise-linear curve `y = f(x)` over strictly increasing knots.
+///
+/// Evaluation outside the knot range clamps to the end values (batteries do
+/// not extrapolate: an SoC query below the first characterized point returns
+/// the first characterized value).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Curve {
+    /// Knot points, strictly increasing in x.
+    points: Vec<(f64, f64)>,
+}
+
+impl Curve {
+    /// Builds a curve from `(x, y)` knots.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two points are given, any coordinate is
+    /// non-finite, or the x-coordinates are not strictly increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self, BatteryError> {
+        if points.len() < 2 {
+            return Err(BatteryError::CurveTooShort {
+                points: points.len(),
+            });
+        }
+        for (i, &(x, y)) in points.iter().enumerate() {
+            if !x.is_finite() || !y.is_finite() {
+                return Err(BatteryError::CurveNotFinite { index: i });
+            }
+        }
+        for i in 1..points.len() {
+            if points[i].0 <= points[i - 1].0 {
+                return Err(BatteryError::CurveNotSorted { index: i });
+            }
+        }
+        Ok(Self { points })
+    }
+
+    /// Builds a curve and additionally checks that y is non-decreasing.
+    ///
+    /// Used for OCP-vs-SoC curves, which are physically monotone
+    /// (Figure 8b: "open circuit potential increases with state of charge").
+    ///
+    /// # Errors
+    ///
+    /// As [`Curve::new`], plus [`BatteryError::CurveNotMonotone`] if any step
+    /// decreases in y.
+    pub fn new_non_decreasing(points: Vec<(f64, f64)>) -> Result<Self, BatteryError> {
+        let c = Self::new(points)?;
+        for i in 1..c.points.len() {
+            if c.points[i].1 < c.points[i - 1].1 {
+                return Err(BatteryError::CurveNotMonotone { index: i });
+            }
+        }
+        Ok(c)
+    }
+
+    /// Builds a curve and additionally checks that y is non-increasing.
+    ///
+    /// Used for DCIR-vs-SoC curves, which decrease with state of charge
+    /// (Figure 8c: "internal resistance decreases with the state of charge").
+    ///
+    /// # Errors
+    ///
+    /// As [`Curve::new`], plus [`BatteryError::CurveNotMonotone`] if any step
+    /// increases in y.
+    pub fn new_non_increasing(points: Vec<(f64, f64)>) -> Result<Self, BatteryError> {
+        let c = Self::new(points)?;
+        for i in 1..c.points.len() {
+            if c.points[i].1 > c.points[i - 1].1 {
+                return Err(BatteryError::CurveNotMonotone { index: i });
+            }
+        }
+        Ok(c)
+    }
+
+    /// Evaluates the curve at `x`, clamping outside the knot range.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the segment containing x.
+        let idx = match pts
+            .binary_search_by(|&(px, _)| px.partial_cmp(&x).expect("knots and query are finite"))
+        {
+            Ok(i) => return pts[i].1,
+            Err(i) => i,
+        };
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Returns the slope `dy/dx` of the segment containing `x`.
+    ///
+    /// Outside the knot range the slope is 0 (consistent with clamped
+    /// evaluation). Exactly at an interior knot, the right segment's slope is
+    /// returned.
+    #[must_use]
+    pub fn slope(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        // Exactly at the last knot, report the left segment's slope (the
+        // curve's domain includes its endpoint; clamping only applies
+        // beyond it) — e.g. a full cell still has a DCIR slope.
+        if x == pts[pts.len() - 1].0 {
+            let (x0, y0) = pts[pts.len() - 2];
+            let (x1, y1) = pts[pts.len() - 1];
+            return (y1 - y0) / (x1 - x0);
+        }
+        if x < pts[0].0 || x > pts[pts.len() - 1].0 {
+            return 0.0;
+        }
+        let idx = pts.partition_point(|&(px, _)| px <= x);
+        // `idx` is the first knot strictly greater than x; the segment is
+        // [idx-1, idx]. `x >= pts[0].0` guarantees idx >= 1.
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        (y1 - y0) / (x1 - x0)
+    }
+
+    /// Returns a new curve with every y multiplied by `factor`.
+    ///
+    /// Used, e.g., to derive an aged DCIR curve (resistance grows with age)
+    /// or a chemistry variant from a base curve.
+    #[must_use]
+    pub fn scale_y(&self, factor: f64) -> Self {
+        Self {
+            points: self.points.iter().map(|&(x, y)| (x, y * factor)).collect(),
+        }
+    }
+
+    /// Returns a new curve with `offset` added to every y.
+    #[must_use]
+    pub fn offset_y(&self, offset: f64) -> Self {
+        Self {
+            points: self.points.iter().map(|&(x, y)| (x, y + offset)).collect(),
+        }
+    }
+
+    /// The smallest knot x-coordinate.
+    #[must_use]
+    pub fn x_min(&self) -> f64 {
+        self.points[0].0
+    }
+
+    /// The largest knot x-coordinate.
+    #[must_use]
+    pub fn x_max(&self) -> f64 {
+        self.points[self.points.len() - 1].0
+    }
+
+    /// The minimum y value over all knots.
+    #[must_use]
+    pub fn y_min(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The maximum y value over all knots.
+    #[must_use]
+    pub fn y_max(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, y)| y)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The knot points.
+    #[must_use]
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Samples the curve at `n` evenly spaced x positions across its range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn sample(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least 2 samples");
+        let (lo, hi) = (self.x_min(), self.x_max());
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * (i as f64) / ((n - 1) as f64);
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+
+    /// Numerically inverts a monotone curve: finds `x` with `f(x) = y`.
+    ///
+    /// Returns `None` if `y` is outside the curve's y range or the curve is
+    /// not monotone over its knots. Used, e.g., to recover SoC from a rest
+    /// OCV measurement in the fuel gauge.
+    #[must_use]
+    pub fn invert(&self, y: f64) -> Option<f64> {
+        let increasing = self.points.windows(2).all(|w| w[1].1 >= w[0].1);
+        let decreasing = self.points.windows(2).all(|w| w[1].1 <= w[0].1);
+        if !increasing && !decreasing {
+            return None;
+        }
+        let (ylo, yhi) = (self.y_min(), self.y_max());
+        if y < ylo || y > yhi {
+            return None;
+        }
+        for w in self.points.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let (seg_lo, seg_hi) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+            if y >= seg_lo && y <= seg_hi {
+                if (y1 - y0).abs() < f64::EPSILON {
+                    return Some(x0);
+                }
+                return Some(x0 + (x1 - x0) * (y - y0) / (y1 - y0));
+            }
+        }
+        None
+    }
+}
+
+/// Convenience constructor for curves over SoC in `[0, 1]` from evenly
+/// spaced y values.
+///
+/// # Errors
+///
+/// Propagates [`Curve::new`] validation failures.
+///
+/// # Panics
+///
+/// Panics if `ys` has fewer than two entries (cannot span `[0, 1]`).
+pub fn from_soc_samples(ys: &[f64]) -> Result<Curve, BatteryError> {
+    assert!(ys.len() >= 2, "need at least 2 samples to span [0,1]");
+    let n = ys.len();
+    Curve::new(
+        ys.iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 / (n - 1) as f64, y))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line() -> Curve {
+        Curve::new(vec![(0.0, 1.0), (1.0, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn rejects_short_curve() {
+        assert_eq!(
+            Curve::new(vec![(0.0, 1.0)]),
+            Err(BatteryError::CurveTooShort { points: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_unsorted() {
+        assert_eq!(
+            Curve::new(vec![(0.0, 1.0), (0.0, 2.0)]),
+            Err(BatteryError::CurveNotSorted { index: 1 })
+        );
+        assert_eq!(
+            Curve::new(vec![(0.5, 1.0), (0.2, 2.0)]),
+            Err(BatteryError::CurveNotSorted { index: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite() {
+        assert_eq!(
+            Curve::new(vec![(0.0, f64::NAN), (1.0, 2.0)]),
+            Err(BatteryError::CurveNotFinite { index: 0 })
+        );
+    }
+
+    #[test]
+    fn monotone_validators() {
+        assert!(Curve::new_non_decreasing(vec![(0.0, 1.0), (1.0, 1.0), (2.0, 5.0)]).is_ok());
+        assert_eq!(
+            Curve::new_non_decreasing(vec![(0.0, 2.0), (1.0, 1.0)]),
+            Err(BatteryError::CurveNotMonotone { index: 1 })
+        );
+        assert!(Curve::new_non_increasing(vec![(0.0, 5.0), (1.0, 1.0)]).is_ok());
+        assert_eq!(
+            Curve::new_non_increasing(vec![(0.0, 1.0), (1.0, 2.0)]),
+            Err(BatteryError::CurveNotMonotone { index: 1 })
+        );
+    }
+
+    #[test]
+    fn interpolates_linearly() {
+        let c = line();
+        assert_eq!(c.eval(0.0), 1.0);
+        assert_eq!(c.eval(0.5), 2.0);
+        assert_eq!(c.eval(1.0), 3.0);
+    }
+
+    #[test]
+    fn clamps_outside_range() {
+        let c = line();
+        assert_eq!(c.eval(-1.0), 1.0);
+        assert_eq!(c.eval(2.0), 3.0);
+    }
+
+    #[test]
+    fn eval_hits_knot_exactly() {
+        let c = Curve::new(vec![(0.0, 1.0), (0.5, 10.0), (1.0, 3.0)]).unwrap();
+        assert_eq!(c.eval(0.5), 10.0);
+    }
+
+    #[test]
+    fn slope_per_segment() {
+        let c = Curve::new(vec![(0.0, 0.0), (1.0, 2.0), (2.0, 2.0)]).unwrap();
+        assert_eq!(c.slope(0.5), 2.0);
+        assert_eq!(c.slope(1.5), 0.0);
+        // At interior knot: right segment.
+        assert_eq!(c.slope(1.0), 0.0);
+        // Outside: zero.
+        assert_eq!(c.slope(-1.0), 0.0);
+        assert_eq!(c.slope(3.0), 0.0);
+    }
+
+    #[test]
+    fn scale_and_offset() {
+        let c = line().scale_y(2.0).offset_y(1.0);
+        assert_eq!(c.eval(0.0), 3.0);
+        assert_eq!(c.eval(1.0), 7.0);
+    }
+
+    #[test]
+    fn range_queries() {
+        let c = Curve::new(vec![(0.0, 5.0), (1.0, 2.0), (2.0, 8.0)]).unwrap();
+        assert_eq!(c.x_min(), 0.0);
+        assert_eq!(c.x_max(), 2.0);
+        assert_eq!(c.y_min(), 2.0);
+        assert_eq!(c.y_max(), 8.0);
+    }
+
+    #[test]
+    fn sample_covers_range() {
+        let s = line().sample(5);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s[0], (0.0, 1.0));
+        assert_eq!(s[4], (1.0, 3.0));
+    }
+
+    #[test]
+    fn invert_increasing() {
+        let c = line();
+        let x = c.invert(2.0).unwrap();
+        assert!((x - 0.5).abs() < 1e-12);
+        assert!(c.invert(0.5).is_none());
+        assert!(c.invert(3.5).is_none());
+    }
+
+    #[test]
+    fn invert_decreasing() {
+        let c = Curve::new(vec![(0.0, 10.0), (1.0, 0.0)]).unwrap();
+        let x = c.invert(5.0).unwrap();
+        assert!((x - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invert_non_monotone_is_none() {
+        let c = Curve::new(vec![(0.0, 0.0), (1.0, 5.0), (2.0, 1.0)]).unwrap();
+        assert!(c.invert(2.0).is_none());
+    }
+
+    #[test]
+    fn invert_flat_segment() {
+        let c = Curve::new(vec![(0.0, 1.0), (1.0, 1.0), (2.0, 2.0)]).unwrap();
+        // Flat segment: returns the segment start.
+        assert_eq!(c.invert(1.0), Some(0.0));
+    }
+
+    #[test]
+    fn from_soc_samples_spans_unit_interval() {
+        let c = from_soc_samples(&[3.0, 3.5, 4.2]).unwrap();
+        assert_eq!(c.x_min(), 0.0);
+        assert_eq!(c.x_max(), 1.0);
+        assert_eq!(c.eval(0.5), 3.5);
+    }
+}

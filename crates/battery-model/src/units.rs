@@ -1,0 +1,278 @@
+//! Light-weight typed physical quantities.
+//!
+//! The simulation core works in `f64` with unit-suffixed names (fast, and
+//! idiomatic for numerical kernels), but public entry points benefit from
+//! type-checked construction: a `Watts(5.0)` cannot be passed where
+//! `Amps` are expected, and conversions are explicit. These are thin
+//! `#[repr(transparent)]` wrappers with only the physically meaningful
+//! arithmetic implemented.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[repr(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The raw value.
+            #[must_use]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[must_use]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Whether the value is finite.
+            #[must_use]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential, volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current, amps (positive = discharge by crate convention).
+    Amps,
+    "A"
+);
+quantity!(
+    /// Resistance, ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Power, watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy, joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Energy, watt-hours.
+    WattHours,
+    "Wh"
+);
+quantity!(
+    /// Charge, amp-hours.
+    AmpHours,
+    "Ah"
+);
+quantity!(
+    /// Time, seconds.
+    Seconds,
+    "s"
+);
+
+// Cross-quantity physics.
+
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+impl Div<Volts> for Watts {
+    type Output = Amps;
+    fn div(self, rhs: Volts) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for Amps {
+    type Output = AmpHours;
+    fn mul(self, rhs: Seconds) -> AmpHours {
+        AmpHours(self.0 * rhs.0 / 3600.0)
+    }
+}
+
+impl Joules {
+    /// Converts to watt-hours.
+    #[must_use]
+    pub fn to_watt_hours(self) -> WattHours {
+        WattHours(self.0 / 3600.0)
+    }
+}
+
+impl WattHours {
+    /// Converts to joules.
+    #[must_use]
+    pub fn to_joules(self) -> Joules {
+        Joules(self.0 * 3600.0)
+    }
+
+    /// Charge content at a nominal voltage.
+    #[must_use]
+    pub fn at_voltage(self, v: Volts) -> AmpHours {
+        AmpHours(self.0 / v.0)
+    }
+}
+
+impl AmpHours {
+    /// Energy content at a nominal voltage.
+    #[must_use]
+    pub fn at_voltage(self, v: Volts) -> WattHours {
+        WattHours(self.0 * v.0)
+    }
+
+    /// The C-rate a current represents for this capacity.
+    #[must_use]
+    pub fn c_rate(self, i: Amps) -> f64 {
+        i.0.abs() / self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law() {
+        let v = Amps(2.0) * Ohms(0.05);
+        assert_eq!(v, Volts(0.1));
+        assert_eq!(Volts(3.7) / Ohms(0.1), Amps(37.0));
+        assert_eq!(Volts(4.0) / Amps(2.0), Ohms(2.0));
+    }
+
+    #[test]
+    fn power_and_energy() {
+        assert_eq!(Volts(3.7) * Amps(2.0), Watts(7.4));
+        assert_eq!(Amps(2.0) * Volts(3.7), Watts(7.4));
+        assert_eq!(Watts(10.0) / Volts(5.0), Amps(2.0));
+        assert_eq!(Watts(10.0) * Seconds(360.0), Joules(3600.0));
+        assert_eq!(Joules(3600.0).to_watt_hours(), WattHours(1.0));
+        assert_eq!(WattHours(1.0).to_joules(), Joules(3600.0));
+    }
+
+    #[test]
+    fn charge_conversions() {
+        assert_eq!(Amps(1.0) * Seconds(3600.0), AmpHours(1.0));
+        assert_eq!(AmpHours(2.0).at_voltage(Volts(3.8)), WattHours(7.6));
+        assert_eq!(WattHours(7.6).at_voltage(Volts(3.8)), AmpHours(2.0));
+        assert!((AmpHours(2.0).c_rate(Amps(-1.0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_arithmetic_and_ratio() {
+        let p = Watts(5.0) * 2.0 / 4.0;
+        assert_eq!(p, Watts(2.5));
+        assert_eq!(Watts(6.0) / Watts(3.0), 2.0);
+        assert_eq!(-Amps(1.5), Amps(-1.5));
+        assert_eq!(Amps(-1.5).abs(), Amps(1.5));
+        assert_eq!(Watts(1.0) + Watts(2.0) - Watts(0.5), Watts(2.5));
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Volts(3.7).to_string(), "3.7 V");
+        assert_eq!(Ohms(0.05).to_string(), "0.05 Ω");
+        assert_eq!(WattHours(1.5).to_string(), "1.5 Wh");
+    }
+
+    #[test]
+    fn ordering_and_default() {
+        assert!(Watts(2.0) > Watts(1.0));
+        assert_eq!(Watts::default(), Watts(0.0));
+        assert!(!Volts(f64::NAN).is_finite());
+    }
+}

@@ -1,0 +1,74 @@
+#![allow(missing_docs)]
+//! Scaling benches: how policy allocation and emulation cost grow with the
+//! number of batteries in the pack (the paper's hardware argument is that
+//! SDB's charging circuit is `O(N)`; the software must scale too).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sdb_battery_model::chemistry::Chemistry;
+use sdb_battery_model::spec::BatterySpec;
+use sdb_core::policy::{rbl_discharge, PolicyInput};
+use sdb_emulator::micro::Microcontroller;
+use sdb_emulator::pack::PackBuilder;
+use sdb_emulator::profile::ProfileKind;
+use std::hint::black_box;
+
+fn pack_of(n: usize) -> Microcontroller {
+    let chems = [
+        Chemistry::Type2CoStandard,
+        Chemistry::Type3CoPower,
+        Chemistry::Type1LfpPower,
+        Chemistry::OtherNmc,
+    ];
+    let mut b = PackBuilder::new();
+    for i in 0..n {
+        b = b.battery_at(
+            BatterySpec::from_chemistry(&format!("cell{i}"), chems[i % chems.len()], 2.0),
+            0.9,
+            ProfileKind::Standard,
+        );
+    }
+    b.build()
+}
+
+fn bench_policy_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rbl_discharge_vs_pack_size");
+    for n in [2usize, 4, 8, 16, 32] {
+        let micro = pack_of(n);
+        let input = PolicyInput::from_micro(&micro).with_load(4.0 * n as f64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| black_box(rbl_discharge(black_box(input)).expect("feasible")));
+        });
+    }
+    g.finish();
+}
+
+fn bench_step_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_step_vs_pack_size");
+    for n in [2usize, 4, 8, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut micro = pack_of(n);
+            let load = 3.0 * n as f64;
+            b.iter(|| black_box(micro.step(load, 0.0, 1.0)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query_battery_status_vs_pack_size");
+    for n in [2usize, 8, 32] {
+        let micro = pack_of(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &micro, |b, micro| {
+            b.iter(|| black_box(micro.query_battery_status()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_policy_scaling,
+    bench_step_scaling,
+    bench_query_scaling
+);
+criterion_main!(benches);

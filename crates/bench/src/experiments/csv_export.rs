@@ -1,0 +1,294 @@
+//! CSV export of every data-bearing experiment (plot-ready series).
+
+use crate::table;
+
+use super::{fig1, fig10, fig11, fig12, fig13, fig14, fig6, fig8};
+
+/// CSV for one experiment id, or `None` for prose-only artifacts
+/// (tables 1/2, ablations).
+#[must_use]
+pub fn csv_for(id: &str) -> Option<String> {
+    match id {
+        "fig1a" => Some(csv_fig1a()),
+        "fig1b" => Some(csv_fig1b()),
+        "fig1c" => Some(csv_fig1c()),
+        "fig6a" => Some(csv_pairs("power_w,loss_pct", &fig6::fig6a_series())),
+        "fig6b" => Some(csv_pairs("setting_pct,error_pct", &fig6::fig6b_series())),
+        "fig6c" => Some(csv_pairs("current_a,efficiency_pct", &fig6::fig6c_series())),
+        "fig6d" => Some(csv_pairs("current_a,error_pct", &fig6::fig6d_series())),
+        "fig8b" => Some(csv_fig8(true)),
+        "fig8c" => Some(csv_fig8(false)),
+        "fig10" => Some(csv_fig10()),
+        "fig11a" => Some(csv_fig11a()),
+        "fig11b" => Some(csv_fig11b()),
+        "fig11c" => Some(csv_fig11c()),
+        "fig12" => Some(csv_fig12()),
+        "fig13" => Some(csv_fig13()),
+        "fig14" => Some(csv_fig14()),
+        _ => None,
+    }
+}
+
+fn csv_pairs(header: &str, series: &[(f64, f64)]) -> String {
+    let cols: Vec<&str> = header.split(',').collect();
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|&(x, y)| vec![format!("{x}"), format!("{y}")])
+        .collect();
+    table::csv(&cols, &rows)
+}
+
+fn csv_fig1a() -> String {
+    let data = fig1::fig1a_rows();
+    let mut header = vec!["axis".to_owned()];
+    header.extend(data.iter().map(|(c, _)| c.name().to_owned()));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let axes = data[0].1;
+    let rows: Vec<Vec<String>> = axes
+        .iter()
+        .enumerate()
+        .map(|(i, (axis, _))| {
+            let mut row = vec![(*axis).to_owned()];
+            row.extend(data.iter().map(|(_, scores)| format!("{}", scores[i].1)));
+            row
+        })
+        .collect();
+    table::csv(&header_refs, &rows)
+}
+
+fn csv_fig1b() -> String {
+    let rows: Vec<Vec<String>> = fig1::fig1b_series()
+        .iter()
+        .map(|(n, caps)| {
+            vec![
+                n.to_string(),
+                format!("{}", caps[0]),
+                format!("{}", caps[1]),
+                format!("{}", caps[2]),
+            ]
+        })
+        .collect();
+    table::csv(
+        &["cycles", "cap_pct_0p5A", "cap_pct_0p7A", "cap_pct_1p0A"],
+        &rows,
+    )
+}
+
+fn csv_fig1c() -> String {
+    let rows: Vec<Vec<String>> = fig1::fig1c_series()
+        .iter()
+        .map(|(c, l)| {
+            vec![
+                format!("{c}"),
+                format!("{}", l[0]),
+                format!("{}", l[1]),
+                format!("{}", l[2]),
+            ]
+        })
+        .collect();
+    table::csv(
+        &[
+            "c_rate",
+            "type2_loss_pct",
+            "type3_loss_pct",
+            "type4_loss_pct",
+        ],
+        &rows,
+    )
+}
+
+fn csv_fig8(ocp: bool) -> String {
+    let batteries = if ocp {
+        fig8::fig8b_batteries()
+    } else {
+        fig8::fig8c_batteries()
+    };
+    let mut header = vec!["soc".to_owned()];
+    header.extend((1..=batteries.len()).map(|i| format!("battery_{i}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows: Vec<Vec<String>> = (0..=20)
+        .map(|k| {
+            let soc = k as f64 / 20.0;
+            let mut row = vec![format!("{soc}")];
+            row.extend(batteries.iter().map(|b| {
+                let v = if ocp {
+                    b.ocp.eval(soc)
+                } else {
+                    b.dcir.eval(soc)
+                };
+                format!("{v}")
+            }));
+            row
+        })
+        .collect();
+    table::csv(&header_refs, &rows)
+}
+
+fn csv_fig10() -> String {
+    let rows: Vec<Vec<String>> = fig10::fig10_reports()
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.current_a),
+                r.samples.to_string(),
+                format!("{}", r.accuracy_percent()),
+                format!("{}", r.max_abs_rel_error * 100.0),
+            ]
+        })
+        .collect();
+    table::csv(
+        &["current_a", "samples", "accuracy_pct", "max_error_pct"],
+        &rows,
+    )
+}
+
+fn csv_fig11a() -> String {
+    let rows: Vec<Vec<String>> = fig11::fig11a_rows()
+        .iter()
+        .map(|(label, d)| vec![label.clone(), format!("{d}")])
+        .collect();
+    table::csv(&["fast_share", "energy_density_wh_per_l"], &rows)
+}
+
+fn csv_fig11b() -> String {
+    let curves = fig11::fig11b_curves();
+    let mut header = vec!["pct_charged".to_owned()];
+    header.extend(
+        curves
+            .iter()
+            .map(|(n, _)| format!("{}_min", n.to_lowercase().replace(' ', "_"))),
+    );
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let targets = &curves[0].1.targets_pct;
+    let rows: Vec<Vec<String>> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, pct)| {
+            let mut row = vec![format!("{pct}")];
+            row.extend(
+                curves
+                    .iter()
+                    .map(|(_, c)| c.minutes[i].map_or_else(String::new, |m| format!("{m}"))),
+            );
+            row
+        })
+        .collect();
+    table::csv(&header_refs, &rows)
+}
+
+fn csv_fig11c() -> String {
+    let rows: Vec<Vec<String>> = fig11::fig11c_rows()
+        .iter()
+        .map(|(label, pct)| vec![label.clone(), format!("{pct}")])
+        .collect();
+    table::csv(&["configuration", "capacity_retained_pct"], &rows)
+}
+
+fn csv_fig12() -> String {
+    let rows: Vec<Vec<String>> = fig12::fig12_rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.profile.to_owned(),
+                r.level.label().to_owned(),
+                format!("{}", r.latency_ratio),
+                format!("{}", r.energy_ratio),
+            ]
+        })
+        .collect();
+    table::csv(
+        &["workload", "level", "latency_ratio", "energy_ratio"],
+        &rows,
+    )
+}
+
+fn csv_fig13() -> String {
+    let (p1, p2) = fig13::fig13_outcomes();
+    let hours = p1.hourly_load_j.len().max(p2.hourly_load_j.len());
+    let rows: Vec<Vec<String>> = (0..hours)
+        .map(|h| {
+            vec![
+                (h + 1).to_string(),
+                format!("{}", p1.hourly_load_j.get(h).copied().unwrap_or(0.0)),
+                format!("{}", p1.hourly_loss_j.get(h).copied().unwrap_or(0.0)),
+                format!("{}", p2.hourly_loss_j.get(h).copied().unwrap_or(0.0)),
+            ]
+        })
+        .collect();
+    table::csv(
+        &[
+            "hour",
+            "device_energy_j",
+            "policy1_loss_j",
+            "policy2_loss_j",
+        ],
+        &rows,
+    )
+}
+
+fn csv_fig14() -> String {
+    let rows: Vec<Vec<String>> = fig14::fig14_rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.to_owned(),
+                format!("{}", r.simultaneous_life_s / 3600.0),
+                format!("{}", r.charge_through_life_s / 3600.0),
+                format!("{}", r.improvement_pct()),
+            ]
+        })
+        .collect();
+    table::csv(
+        &[
+            "workload",
+            "simultaneous_h",
+            "charge_through_h",
+            "improvement_pct",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_experiments_have_csv() {
+        for id in [
+            "fig1a", "fig1b", "fig1c", "fig6a", "fig6b", "fig6c", "fig6d", "fig8b", "fig8c",
+            "fig11a", "fig11c",
+        ] {
+            let csv = csv_for(id).unwrap_or_else(|| panic!("{id} missing csv"));
+            let lines: Vec<&str> = csv.lines().collect();
+            assert!(lines.len() >= 3, "{id} too short");
+            // Column check on unquoted lines only (quoted labels may
+            // legitimately contain commas).
+            let unquoted: Vec<&&str> = lines.iter().filter(|l| !l.contains('"')).collect();
+            if let Some(first) = unquoted.first() {
+                let cols = first.split(',').count();
+                for line in &unquoted {
+                    assert_eq!(line.split(',').count(), cols, "{id}: ragged row {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prose_artifacts_have_no_csv() {
+        assert!(csv_for("table1").is_none());
+        assert!(csv_for("table2").is_none());
+        assert!(csv_for("ablations").is_none());
+        assert!(csv_for("nonsense").is_none());
+    }
+
+    #[test]
+    fn fig1b_csv_parses_numerically() {
+        let csv = csv_for("fig1b").unwrap();
+        for line in csv.lines().skip(1) {
+            for field in line.split(',') {
+                assert!(field.parse::<f64>().is_ok(), "bad field {field}");
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per paper table/figure; each recomputes its artifact from
+//! the live system and renders text rows.
+
+pub mod ablations;
+pub mod csv_export;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig6;
+pub mod fig8;
+pub mod tables;

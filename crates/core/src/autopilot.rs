@@ -1,0 +1,224 @@
+//! The closed learning loop: predictor → directives, hands-free.
+//!
+//! Section 8's vision is an OS assistant that "understands user behavior
+//! and the user's schedule and by using this information ... can perform
+//! better parameter selection". [`Autopilot`] closes that loop: it watches
+//! the load the device actually draws, folds each completed day into the
+//! [`crate::predict::UsagePredictor`], and steers the runtime's directive
+//! parameters and preserve policy hour by hour — no manual policy
+//! selection.
+
+use crate::policy::{DischargeDirective, PreservePolicy};
+use crate::predict::UsagePredictor;
+use crate::runtime::SdbRuntime;
+
+/// Configuration of the autopilot's preserve behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutopilotConfig {
+    /// Index of the efficient battery to preserve for demanding episodes.
+    pub efficient: usize,
+    /// Index of the inefficient battery to spend first while preserving.
+    pub inefficient: usize,
+    /// Load above which an episode counts as high-power, watts.
+    pub high_power_threshold_w: f64,
+    /// Hours of lookahead when deciding to preserve.
+    pub lookahead_h: usize,
+}
+
+/// Watches real load, learns the daily pattern, and steers the runtime.
+#[derive(Debug, Clone)]
+pub struct Autopilot {
+    config: AutopilotConfig,
+    predictor: UsagePredictor,
+    /// Energy observed in the current hour bucket, joules.
+    hour_energy_j: f64,
+    /// Seconds elapsed in the current hour bucket.
+    hour_elapsed_s: f64,
+    /// Hour-of-day of the bucket being filled (0–23).
+    current_hour: usize,
+    /// Mean power per hour for the day in progress, watts.
+    today_w: [f64; 24],
+    /// Whether the preserve policy is currently installed.
+    preserving: bool,
+}
+
+impl Autopilot {
+    /// Creates an autopilot starting at hour 0 with no history.
+    #[must_use]
+    pub fn new(config: AutopilotConfig) -> Self {
+        Self {
+            config,
+            predictor: UsagePredictor::new(),
+            hour_energy_j: 0.0,
+            hour_elapsed_s: 0.0,
+            current_hour: 0,
+            today_w: [0.0; 24],
+            preserving: false,
+        }
+    }
+
+    /// The learned predictor (for inspection).
+    #[must_use]
+    pub fn predictor(&self) -> &UsagePredictor {
+        &self.predictor
+    }
+
+    /// Whether the autopilot currently has the preserve policy installed.
+    #[must_use]
+    pub fn preserving(&self) -> bool {
+        self.preserving
+    }
+
+    /// Observes `dt_s` seconds of `load_w` and steers `runtime`. Call once
+    /// per simulation step; hour and day boundaries are handled
+    /// internally (days are 24 h of observed time).
+    pub fn observe(&mut self, runtime: &mut SdbRuntime, load_w: f64, dt_s: f64) {
+        debug_assert!(dt_s > 0.0 && load_w >= 0.0);
+        // Apportion the observation across hour boundaries so a step
+        // spanning several hours credits each hour its own share (a lump
+        // attribution would teach the predictor phantom peaks).
+        let mut remaining = dt_s;
+        while remaining > 0.0 {
+            let take = remaining.min(3600.0 - self.hour_elapsed_s);
+            self.hour_energy_j += load_w * take;
+            self.hour_elapsed_s += take;
+            remaining -= take;
+            if self.hour_elapsed_s >= 3600.0 - 1e-9 {
+                self.today_w[self.current_hour] = self.hour_energy_j / 3600.0;
+                self.hour_energy_j = 0.0;
+                self.hour_elapsed_s = 0.0;
+                self.current_hour += 1;
+                if self.current_hour == 24 {
+                    self.predictor.observe_day(&self.today_w);
+                    self.today_w = [0.0; 24];
+                    self.current_hour = 0;
+                }
+                self.steer(runtime);
+            }
+        }
+    }
+
+    /// Applies the predictor's advice for the current hour.
+    fn steer(&mut self, runtime: &mut SdbRuntime) {
+        if self.predictor.days() == 0 {
+            // No history yet: neutral loss-minimizing behavior.
+            runtime.set_discharge_directive(DischargeDirective::new(1.0));
+            runtime.set_preserve(None);
+            self.preserving = false;
+            return;
+        }
+        let expect_high = self.predictor.high_power_expected(
+            self.current_hour,
+            self.config.lookahead_h,
+            self.config.high_power_threshold_w,
+        );
+        // Also preserve *during* the predicted episode itself (the policy
+        // routes high loads to the efficient cell).
+        let in_episode =
+            self.predictor.predicted_w(self.current_hour) >= self.config.high_power_threshold_w;
+        if expect_high || in_episode {
+            runtime.set_preserve(Some(PreservePolicy::new(
+                self.config.efficient,
+                self.config.inefficient,
+                self.config.high_power_threshold_w,
+            )));
+            self.preserving = true;
+        } else {
+            runtime.set_preserve(None);
+            runtime.set_discharge_directive(DischargeDirective::new(1.0));
+            self.preserving = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyInput;
+    use crate::scenarios::watch::{build_pack, high_power_threshold_w, BENDABLE, LI_ION};
+    use sdb_workloads::traces::watch_day;
+
+    fn config() -> AutopilotConfig {
+        AutopilotConfig {
+            efficient: LI_ION,
+            inefficient: BENDABLE,
+            high_power_threshold_w: high_power_threshold_w(),
+            lookahead_h: 8,
+        }
+    }
+
+    /// Simulates `days` consecutive watch days on fresh packs (recharged
+    /// overnight), returning the battery life of the final day.
+    fn run_days(autopilot: &mut Autopilot, days: u64) -> f64 {
+        let mut last_life = 0.0;
+        for day in 0..days {
+            let mut micro = build_pack();
+            let mut runtime = SdbRuntime::new(2);
+            runtime.set_update_period(60.0);
+            let trace = watch_day(100 + day, Some(9.0));
+            let mut elapsed = 0.0;
+            let mut first_brownout = None;
+            for p in trace.resampled(60.0).points() {
+                autopilot.observe(&mut runtime, p.load_w, p.dur_s);
+                let input = PolicyInput::from_micro(&micro).with_load(p.load_w);
+                runtime.tick(&mut micro, &input, p.dur_s).expect("accepted");
+                let r = micro.step(p.load_w, 0.0, p.dur_s);
+                elapsed += p.dur_s;
+                if r.unmet_w > 1e-9 && first_brownout.is_none() {
+                    first_brownout = Some(elapsed);
+                }
+            }
+            last_life = first_brownout.unwrap_or(elapsed);
+        }
+        last_life
+    }
+
+    #[test]
+    fn learns_to_preserve_after_a_few_days() {
+        let mut ap = Autopilot::new(config());
+        // Day 1: no history, the autopilot runs loss-optimal and the run
+        // catches it off guard.
+        let day1_life = run_days(&mut ap, 1);
+        // Days 2..5: the run is in the profile; preserve kicks in.
+        let day5_life = run_days(&mut ap, 4);
+        assert!(ap.predictor().days() >= 4);
+        assert!(
+            day5_life > day1_life + 3600.0,
+            "day1 {:.1} h vs day5 {:.1} h",
+            day1_life / 3600.0,
+            day5_life / 3600.0
+        );
+    }
+
+    #[test]
+    fn preserve_engages_before_the_run_and_releases_after() {
+        let mut ap = Autopilot::new(config());
+        run_days(&mut ap, 3);
+        // Replay a day observing the preserve flag by hour.
+        let mut micro = build_pack();
+        let mut runtime = SdbRuntime::new(2);
+        let trace = watch_day(7, Some(9.0));
+        let mut by_hour = [false; 24];
+        let mut elapsed = 0.0;
+        for p in trace.resampled(60.0).points() {
+            ap.observe(&mut runtime, p.load_w, p.dur_s);
+            elapsed += p.dur_s;
+            let hour = ((elapsed / 3600.0) as usize).min(23);
+            by_hour[hour] = ap.preserving();
+            let input = PolicyInput::from_micro(&micro).with_load(p.load_w);
+            runtime.tick(&mut micro, &input, p.dur_s).expect("accepted");
+            micro.step(p.load_w, 0.0, p.dur_s);
+        }
+        assert!(by_hour[7], "preserving in the hours before the run");
+        assert!(by_hour[9], "preserving during the run hour");
+        assert!(!by_hour[20], "released in the evening");
+    }
+
+    #[test]
+    fn no_history_means_no_preserve() {
+        let mut ap = Autopilot::new(config());
+        let mut runtime = SdbRuntime::new(2);
+        ap.observe(&mut runtime, 0.05, 3600.0);
+        assert!(!ap.preserving());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for the SDB Runtime.
+
+use std::fmt;
+
+/// Errors surfaced by the runtime and the API boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SdbError {
+    /// The hardware rejected a command.
+    HardwareRejected(String),
+    /// A ratio tuple was malformed (wrong length, negative, or not summing
+    /// to one).
+    BadRatios(String),
+    /// A battery index was out of range.
+    BadIndex {
+        /// The rejected index.
+        index: usize,
+        /// Number of batteries.
+        count: usize,
+    },
+    /// A directive parameter was outside `[0, 1]`.
+    BadDirective(f64),
+    /// The policy produced no feasible allocation (e.g., every battery
+    /// empty).
+    Infeasible(&'static str),
+}
+
+impl fmt::Display for SdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::HardwareRejected(msg) => write!(f, "hardware rejected command: {msg}"),
+            Self::BadRatios(msg) => write!(f, "bad ratio tuple: {msg}"),
+            Self::BadIndex { index, count } => {
+                write!(f, "battery index {index} out of range (pack has {count})")
+            }
+            Self::BadDirective(v) => write!(f, "directive parameter {v} outside [0, 1]"),
+            Self::Infeasible(what) => write!(f, "no feasible allocation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SdbError::BadDirective(1.5).to_string().contains("1.5"));
+        assert!(SdbError::BadIndex { index: 3, count: 2 }
+            .to_string()
+            .contains("3"));
+    }
+}

@@ -1,0 +1,162 @@
+//! OS events → directive parameters.
+//!
+//! In the paper's software architecture (Figure 5), "Other OS Components"
+//! convey power requirements and user context to the SDB Runtime, which
+//! maps them onto the charging/discharging directive parameters. This
+//! module defines that event vocabulary and the mapping — the concrete
+//! version of the paper's examples ("charging at night", "just before
+//! boarding an airplane", calendar-aware assistants from Section 7/8).
+
+use crate::policy::{ChargeDirective, DischargeDirective};
+use crate::runtime::SdbRuntime;
+
+/// Events the rest of the OS can report to the SDB Runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OsEvent {
+    /// External power attached; the OS expects it to stay for about this
+    /// long (overnight = hours; a quick top-up = minutes).
+    PluggedIn {
+        /// Expected plug duration, seconds.
+        expected_s: f64,
+    },
+    /// External power removed.
+    Unplugged,
+    /// The user is about to be away from power for a long stretch (the
+    /// paper's "just before boarding an airplane"): charge as usefully as
+    /// possible, immediately.
+    PowerScarcityImminent,
+    /// A latency-critical interactive session started (gaming, rendering):
+    /// maximize deliverable power and instantaneous battery life.
+    PerformanceSession {
+        /// Whether the session is active (false = ended).
+        active: bool,
+    },
+    /// The device is idle and expected to stay idle (overnight on the
+    /// nightstand): favor longevity everywhere.
+    IdlePeriod,
+    /// The calendar/assistant predicts a high-power episode within this
+    /// many seconds (the watch run, a navigation session).
+    HighPowerExpected {
+        /// Seconds until the episode.
+        in_s: f64,
+    },
+}
+
+/// Applies an event to the runtime's directive parameters. Returns the
+/// `(charge, discharge)` directive values now in force.
+pub fn apply_event(runtime: &mut SdbRuntime, event: OsEvent) -> (f64, f64) {
+    match event {
+        OsEvent::PluggedIn { expected_s } => {
+            // Long plug → no hurry → balance wear (CCB). Short plug →
+            // useful charge fast (RBL), scaled by how short.
+            let urgency = (1.0 - (expected_s / (4.0 * 3600.0))).clamp(0.0, 1.0);
+            runtime.set_charge_directive(ChargeDirective::new(urgency));
+        }
+        OsEvent::Unplugged => {
+            // Neutral charging stance for whenever power returns.
+            runtime.set_charge_directive(ChargeDirective::new(0.5));
+        }
+        OsEvent::PowerScarcityImminent => {
+            runtime.set_charge_directive(ChargeDirective::new(1.0));
+            // Also spend batteries loss-optimally while power lasts.
+            runtime.set_discharge_directive(DischargeDirective::new(1.0));
+        }
+        OsEvent::PerformanceSession { active } => {
+            runtime.set_discharge_directive(DischargeDirective::new(if active {
+                1.0
+            } else {
+                0.5
+            }));
+        }
+        OsEvent::IdlePeriod => {
+            runtime.set_charge_directive(ChargeDirective::new(0.0));
+            runtime.set_discharge_directive(DischargeDirective::new(0.0));
+        }
+        OsEvent::HighPowerExpected { in_s } => {
+            // The closer the episode, the harder we preserve (lower
+            // discharge directive → CCB/conservative; pairing with a
+            // PreservePolicy is the caller's choice).
+            let closeness = (1.0 - in_s / (6.0 * 3600.0)).clamp(0.0, 1.0);
+            runtime.set_discharge_directive(DischargeDirective::new(1.0 - closeness));
+        }
+    }
+    (
+        runtime.charge_directive().value(),
+        runtime.discharge_directive().value(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt() -> SdbRuntime {
+        SdbRuntime::new(2)
+    }
+
+    #[test]
+    fn overnight_plug_is_gentle() {
+        let mut r = rt();
+        let (charge, _) = apply_event(
+            &mut r,
+            OsEvent::PluggedIn {
+                expected_s: 8.0 * 3600.0,
+            },
+        );
+        assert!(charge < 0.1, "charge = {charge}");
+    }
+
+    #[test]
+    fn quick_topup_is_urgent() {
+        let mut r = rt();
+        let (charge, _) = apply_event(
+            &mut r,
+            OsEvent::PluggedIn {
+                expected_s: 15.0 * 60.0,
+            },
+        );
+        assert!(charge > 0.9, "charge = {charge}");
+    }
+
+    #[test]
+    fn airplane_boarding_maxes_everything() {
+        let mut r = rt();
+        let (charge, discharge) = apply_event(&mut r, OsEvent::PowerScarcityImminent);
+        assert_eq!(charge, 1.0);
+        assert_eq!(discharge, 1.0);
+    }
+
+    #[test]
+    fn performance_session_toggles() {
+        let mut r = rt();
+        let (_, d_on) = apply_event(&mut r, OsEvent::PerformanceSession { active: true });
+        assert_eq!(d_on, 1.0);
+        let (_, d_off) = apply_event(&mut r, OsEvent::PerformanceSession { active: false });
+        assert_eq!(d_off, 0.5);
+    }
+
+    #[test]
+    fn idle_period_favors_longevity() {
+        let mut r = rt();
+        let (charge, discharge) = apply_event(&mut r, OsEvent::IdlePeriod);
+        assert_eq!(charge, 0.0);
+        assert_eq!(discharge, 0.0);
+    }
+
+    #[test]
+    fn imminent_high_power_preserves_harder() {
+        let mut r = rt();
+        let (_, far) = apply_event(&mut r, OsEvent::HighPowerExpected { in_s: 5.0 * 3600.0 });
+        let (_, near) = apply_event(&mut r, OsEvent::HighPowerExpected { in_s: 10.0 * 60.0 });
+        assert!(near < far, "near {near} vs far {far}");
+        assert!(near < 0.1);
+    }
+
+    #[test]
+    fn unplug_resets_to_neutral() {
+        let mut r = rt();
+        apply_event(&mut r, OsEvent::PowerScarcityImminent);
+        let (charge, _) = apply_event(&mut r, OsEvent::Unplugged);
+        assert!((charge - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,91 @@
+//! The SDB Runtime — the paper's primary contribution.
+//!
+//! "An SDB Runtime encapsulates the SDB microcontroller from the rest of
+//! the OS. The SDB Runtime is responsible for all scheduling decisions
+//! affecting the charging and discharging of batteries" (Section 3.3).
+//!
+//! This crate implements:
+//!
+//! * [`api`] — the four paper APIs as a trait ([`api::SdbApi`]), with
+//!   implementations for the emulated microcontroller and its lossy link.
+//! * [`metrics`] — the two policy metrics: **Cycle Count Balance** (CCB,
+//!   the max/min ratio of per-battery wear `λi = cci/χi`) and **Remaining
+//!   Battery Lifetime** (RBL, useful charge).
+//! * [`policy`] — the four "instantaneously optimal" algorithms
+//!   (CCB-Charge, RBL-Charge, CCB-Discharge, RBL-Discharge), directive-
+//!   parameter blending, and the workload-aware preserve policy used in the
+//!   watch scenario.
+//! * [`runtime`] — the runtime loop: samples gauges, consults policies at
+//!   coarse time steps, pushes ratio updates through the API.
+//! * [`scheduler`] — the simulation driver coupling runtime + emulator +
+//!   workload traces, with energy and depletion bookkeeping and an
+//!   observer hook.
+//! * [`telemetry`] — per-step time-series capture with CSV export.
+//! * [`scenarios`] — the Section 5 applications: fast-charging hybrid packs
+//!   (Figure 11), turbo support (Figure 12), the bendable-battery watch
+//!   (Figure 13), and 2-in-1 battery management (Figure 14).
+//! * [`predict`] — a simple usage predictor that maps learned daily
+//!   patterns to directive parameters (the paper's Section 8 assistant
+//!   integration, reproduced as an extension).
+//! * [`autopilot`] — the closed §8 loop: observe load, learn the daily
+//!   pattern, steer the directives hands-free.
+//! * [`optimal`] — offline-optimal discharge planning by dynamic
+//!   programming: the quantitative version of the paper's "knowledge of
+//!   the future workload" observation.
+//! * [`events`] — the OS-event vocabulary (plug/unplug, performance
+//!   sessions, predicted episodes) and its mapping onto directive
+//!   parameters (Figure 5's "Other OS Components" arrows).
+//! * [`hints`] — route/schedule hints for EV-style planning (Section 8).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sdb_battery_model::{BatterySpec, Chemistry};
+//! use sdb_core::policy::{DischargeDirective, PolicyInput};
+//! use sdb_core::runtime::SdbRuntime;
+//! use sdb_core::scheduler::{run_trace, SimOptions};
+//! use sdb_emulator::PackBuilder;
+//! use sdb_workloads::Trace;
+//!
+//! // A hybrid pack: one high-energy cell, one high-power cell.
+//! let mut micro = PackBuilder::new()
+//!     .battery(BatterySpec::from_chemistry("energy", Chemistry::Type2CoStandard, 2.0))
+//!     .battery(BatterySpec::from_chemistry("power", Chemistry::Type3CoPower, 2.0))
+//!     .build();
+//! let mut runtime = SdbRuntime::new(2);
+//! runtime.set_discharge_directive(DischargeDirective::new(0.8));
+//!
+//! // Run a one-hour 4 W workload.
+//! let result = run_trace(
+//!     &mut micro,
+//!     &mut runtime,
+//!     &Trace::constant(4.0, 3600.0),
+//!     &SimOptions::default(),
+//! );
+//! assert!(result.unmet_j < 1e-6);
+//! let _ = PolicyInput::from_micro(&micro);
+//! ```
+
+pub mod api;
+pub mod autopilot;
+pub mod error;
+pub mod events;
+pub mod hints;
+pub mod metrics;
+pub mod optimal;
+pub mod policy;
+pub mod predict;
+pub mod runtime;
+pub mod scenarios;
+pub mod scheduler;
+pub mod telemetry;
+
+pub use api::SdbApi;
+pub use autopilot::{Autopilot, AutopilotConfig};
+pub use error::SdbError;
+pub use events::{apply_event, OsEvent};
+pub use metrics::{ccb, rbl_wh, wear_ratios};
+pub use policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
+pub use predict::UsagePredictor;
+pub use runtime::SdbRuntime;
+pub use scheduler::{run_trace, SimOptions, SimResult};

@@ -1,0 +1,175 @@
+//! The two SDB policy metrics (Section 3.3).
+//!
+//! * **Wear ratio** `λi = cci / χi`: the fraction of battery *i*'s
+//!   tolerable recharge cycles already consumed.
+//! * **Cycle Count Balance** `CCB = maxi λi / minj λj`: "the ratio between
+//!   the most and least worn-out battery, normalized to each battery's
+//!   total tolerable cycle count. A device's longevity is maximized by
+//!   balancing CCB" (driving it toward 1).
+//! * **Remaining Battery Lifetime (RBL)**: "the amount of useful charge in
+//!   the batteries", assuming no further charging.
+
+use sdb_battery_model::spec::BatterySpec;
+
+/// Computes wear ratios `λi = cci / χi` from cycle counts and specs.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn wear_ratios(cycle_counts: &[u32], specs: &[&BatterySpec]) -> Vec<f64> {
+    assert_eq!(cycle_counts.len(), specs.len(), "length mismatch");
+    cycle_counts
+        .iter()
+        .zip(specs)
+        .map(|(&cc, spec)| f64::from(cc) / f64::from(spec.tolerable_cycles.max(1)))
+        .collect()
+}
+
+/// Cycle Count Balance: `max λ / min λ`, smoothed by one cycle's worth of
+/// wear so a brand-new pack (all zeros) reports a perfectly balanced 1.0
+/// rather than 0/0.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn ccb(wear: &[f64]) -> f64 {
+    assert!(!wear.is_empty(), "need at least one battery");
+    // Smoothing: one cycle on a χ=1000 battery.
+    const EPS: f64 = 1e-3;
+    let max = wear.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = wear.iter().cloned().fold(f64::INFINITY, f64::min);
+    (max + EPS) / (min + EPS)
+}
+
+/// Remaining Battery Lifetime as deliverable energy, watt-hours: the OCV
+/// integral of each battery's remaining charge, discounted by the
+/// resistive loss it would incur supplying `typical_power_w` split
+/// loss-optimally across the pack.
+///
+/// This is the metric the RBL policies maximize; the loss discount is what
+/// distinguishes a watt-hour in a high-resistance bendable cell from one in
+/// an efficient Li-ion cell.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[must_use]
+pub fn rbl_wh(socs: &[f64], specs: &[&BatterySpec], typical_power_w: f64) -> f64 {
+    assert_eq!(socs.len(), specs.len(), "length mismatch");
+    let mut total = 0.0;
+    for (&soc, spec) in socs.iter().zip(specs) {
+        if soc <= 0.0 {
+            continue;
+        }
+        // OCV integral from 0 to soc.
+        let n = 24;
+        let step = soc / n as f64;
+        let mut wh = 0.0;
+        for k in 0..n {
+            let mid = (k as f64 + 0.5) * step;
+            wh += spec.ocp.eval(mid) * step * spec.capacity_ah;
+        }
+        // Loss discount at the battery's proportional share of the typical
+        // load: η = 1 − I·R/OCV at mid-remaining SoC.
+        let mid_soc = soc * 0.5;
+        let ocv = spec.ocp.eval(mid_soc);
+        let r = spec.dcir.eval(mid_soc) + spec.concentration_r_ohm;
+        // Load is shared only among cells that still hold charge.
+        let usable_cap: f64 = socs
+            .iter()
+            .zip(specs)
+            .filter(|(&s, _)| s > 0.0)
+            .map(|(_, sp)| sp.capacity_ah)
+            .sum();
+        let share_w = typical_power_w * (spec.capacity_ah / usable_cap.max(f64::EPSILON));
+        let i = (share_w / ocv).min(spec.max_discharge_a);
+        let eta = (1.0 - i * r / ocv).clamp(0.0, 1.0);
+        total += wh * eta;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdb_battery_model::chemistry::Chemistry;
+
+    fn spec(chem: Chemistry, cap: f64) -> BatterySpec {
+        BatterySpec::from_chemistry("m", chem, cap)
+    }
+
+    #[test]
+    fn wear_ratio_definition() {
+        let s1 = spec(Chemistry::Type2CoStandard, 2.0); // χ = 800
+        let s2 = spec(Chemistry::Type3CoPower, 2.0); // χ = 1800
+        let w = wear_ratios(&[80, 180], &[&s1, &s2]);
+        assert!((w[0] - 0.1).abs() < 1e-12);
+        assert!((w[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccb_balanced_pack_is_one() {
+        assert!((ccb(&[0.1, 0.1]) - 1.0).abs() < 1e-9);
+        assert!((ccb(&[0.0, 0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccb_grows_with_imbalance() {
+        let balanced = ccb(&[0.2, 0.2]);
+        let skewed = ccb(&[0.4, 0.1]);
+        let worse = ccb(&[0.4, 0.05]);
+        assert!(skewed > balanced);
+        assert!(worse > skewed);
+        assert!(ccb(&[0.5, 0.25]) > 1.9);
+    }
+
+    #[test]
+    fn ccb_at_least_one() {
+        assert!(ccb(&[0.3]) >= 1.0 - 1e-12);
+        assert!(ccb(&[0.1, 0.9, 0.5]) >= 1.0);
+    }
+
+    #[test]
+    fn rbl_scales_with_soc() {
+        let s = spec(Chemistry::Type2CoStandard, 2.0);
+        let full = rbl_wh(&[1.0], &[&s], 2.0);
+        let half = rbl_wh(&[0.5], &[&s], 2.0);
+        let empty = rbl_wh(&[0.0], &[&s], 2.0);
+        assert!(full > 1.9 * half);
+        assert_eq!(empty, 0.0);
+        // Full 2 Ah Type 2 holds roughly 7.6 Wh.
+        assert!(full > 6.0 && full < 8.5, "full = {full}");
+    }
+
+    #[test]
+    fn rbl_discounts_inefficient_chemistry() {
+        let li = spec(Chemistry::Type2CoStandard, 0.2);
+        let flex = spec(Chemistry::Type4Bendable, 0.2);
+        // Same nominal charge, but the bendable cell's watt-hours are worth
+        // less under load.
+        let at_low = rbl_wh(&[1.0], &[&flex], 0.05);
+        let at_high = rbl_wh(&[1.0], &[&flex], 0.5);
+        assert!(at_high < at_low, "loss discount grows with load");
+        let li_high = rbl_wh(&[1.0], &[&li], 0.5);
+        assert!(li_high > at_high, "Li-ion Wh are worth more at high power");
+    }
+
+    #[test]
+    fn rbl_additive_over_pack() {
+        let a = spec(Chemistry::Type2CoStandard, 2.0);
+        let b = spec(Chemistry::Type3CoPower, 2.0);
+        let both = rbl_wh(&[1.0, 1.0], &[&a, &b], 4.0);
+        let alone_a = rbl_wh(&[1.0], &[&a], 2.0);
+        let alone_b = rbl_wh(&[1.0], &[&b], 2.0);
+        assert!((both - (alone_a + alone_b)).abs() / both < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wear_rejects_mismatched_lengths() {
+        let s = spec(Chemistry::Type2CoStandard, 2.0);
+        let _ = wear_ratios(&[1, 2], &[&s]);
+    }
+}

@@ -1,0 +1,667 @@
+//! Charging and discharging policies (Section 3.3).
+//!
+//! "It is possible to derive charging and discharging algorithms that (in
+//! isolation!) optimize the CCB and the instantaneous RBL metric. We use
+//! these four 'optimal' algorithms (CCB-Charge, RBL-Charge, CCB-Discharge,
+//! and RBL-Discharge) and weigh them by means of two parameters — Charging
+//! and Discharging Directive Parameter — handed to the SDB Runtime by the
+//! rest of the OS."
+//!
+//! The RBL-Discharge allocation follows the paper's Lagrangian balance: it
+//! splits the load current `y1..yN` so the *effective* marginal resistances
+//! `R'i = Ri + δi·yi` are equalized (δi being the DCIR-vs-SoC slope,
+//! discretized over a short planning horizon), which minimizes total
+//! resistive loss for the instantaneous load.
+
+use crate::error::SdbError;
+use sdb_emulator::micro::Microcontroller;
+
+/// Per-battery view the policies consume. Built either from ground truth
+/// (emulation) or from gauge statuses + manufacturer curves (production).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryView {
+    /// State of charge `[0, 1]`.
+    pub soc: f64,
+    /// Open-circuit voltage at this SoC, volts.
+    pub ocv_v: f64,
+    /// Ohmic + concentration resistance at this SoC, ohms.
+    pub resistance_ohm: f64,
+    /// Magnitude of the DCIR-vs-SoC slope at this SoC (the paper's `δi`),
+    /// ohms per unit SoC.
+    pub dcir_slope: f64,
+    /// Wear ratio `λi = cci / χi`.
+    pub wear: f64,
+    /// Rated capacity, amp-hours.
+    pub capacity_ah: f64,
+    /// Maximum discharge current, amps.
+    pub max_discharge_a: f64,
+    /// Charge current the battery can accept right now (profile-limited),
+    /// amps.
+    pub charge_acceptance_a: f64,
+    /// Whether the battery is empty.
+    pub empty: bool,
+    /// Whether the battery is full.
+    pub full: bool,
+}
+
+/// Input snapshot for one policy decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyInput {
+    /// Per-battery views.
+    pub batteries: Vec<BatteryView>,
+    /// Present system load estimate, watts.
+    pub load_w: f64,
+    /// External supply power available, watts.
+    pub external_w: f64,
+}
+
+impl PolicyInput {
+    /// Builds the snapshot from the emulated microcontroller's ground
+    /// truth (the emulator stands in for gauge+curve lookups).
+    #[must_use]
+    pub fn from_micro(micro: &Microcontroller) -> Self {
+        let batteries = micro
+            .cells()
+            .iter()
+            .enumerate()
+            .map(|(i, cell)| {
+                // An absent battery (detached pack) is unusable in both
+                // directions: report it empty and full so no policy routes
+                // power to it.
+                let present = micro.battery_present(i);
+                BatteryView {
+                    soc: cell.soc(),
+                    ocv_v: cell.ocv(),
+                    resistance_ohm: cell.resistance_ohm() + cell.spec().concentration_r_ohm,
+                    dcir_slope: cell.dcir_slope().abs(),
+                    wear: cell.wear_ratio(),
+                    capacity_ah: cell.spec().capacity_ah,
+                    max_discharge_a: cell.spec().max_discharge_a,
+                    charge_acceptance_a: micro.charge_acceptance_a(i),
+                    empty: cell.is_empty() || !present,
+                    full: cell.is_full() || !present,
+                }
+            })
+            .collect();
+        Self {
+            batteries,
+            load_w: 0.0,
+            external_w: 0.0,
+        }
+    }
+
+    /// Sets the load estimate (builder style).
+    #[must_use]
+    pub fn with_load(mut self, load_w: f64) -> Self {
+        self.load_w = load_w;
+        self
+    }
+
+    /// Sets the external power (builder style).
+    #[must_use]
+    pub fn with_external(mut self, external_w: f64) -> Self {
+        self.external_w = external_w;
+        self
+    }
+}
+
+/// Normalizes non-negative weights into ratios. Returns `None` if every
+/// weight is zero.
+#[must_use]
+pub fn normalize(weights: &[f64]) -> Option<Vec<f64>> {
+    let sum: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+    if sum <= 0.0 {
+        return None;
+    }
+    Some(
+        weights
+            .iter()
+            .map(|&w| if w > 0.0 { w / sum } else { 0.0 })
+            .collect(),
+    )
+}
+
+/// CCB-Discharge: route load toward the least-worn batteries so wear
+/// equalizes (discharge drives the subsequent recharge, which is what
+/// increments cycles).
+///
+/// # Errors
+///
+/// [`SdbError::Infeasible`] if every battery is empty.
+pub fn ccb_discharge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+    let max_wear = input
+        .batteries
+        .iter()
+        .filter(|b| !b.empty)
+        .map(|b| b.wear)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = input
+        .batteries
+        .iter()
+        .map(|b| {
+            if b.empty {
+                0.0
+            } else {
+                // Strictly positive for usable batteries; the lead term
+                // biases toward the least worn.
+                (max_wear - b.wear) + 0.02
+            }
+        })
+        .collect();
+    normalize(&weights).ok_or(SdbError::Infeasible("all batteries empty"))
+}
+
+/// CCB-Charge: route charge toward the least-worn batteries that can
+/// accept it.
+///
+/// # Errors
+///
+/// [`SdbError::Infeasible`] if no battery can accept charge.
+pub fn ccb_charge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+    let max_wear = input
+        .batteries
+        .iter()
+        .filter(|b| !b.full)
+        .map(|b| b.wear)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = input
+        .batteries
+        .iter()
+        .map(|b| {
+            if b.full || b.charge_acceptance_a <= 0.0 {
+                0.0
+            } else {
+                (max_wear - b.wear) + 0.02
+            }
+        })
+        .collect();
+    normalize(&weights).ok_or(SdbError::Infeasible("no battery can accept charge"))
+}
+
+/// Planning horizon used to discretize the paper's `δi` term: how far
+/// ahead (in hours of sustained draw) the allocator charges each battery
+/// for the resistance growth its share will cause.
+const RBL_HORIZON_H: f64 = 0.25;
+
+/// RBL-Discharge: the loss-minimizing current split. Iteratively solves
+/// for currents `yi ∝ Vi / (Ri + δ'i·yi)` (effective-resistance balance),
+/// where `δ'i` converts the DCIR slope into ohms-per-amp over the planning
+/// horizon, then converts currents to power ratios.
+///
+/// # Errors
+///
+/// [`SdbError::Infeasible`] if every battery is empty.
+pub fn rbl_discharge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+    let n = input.batteries.len();
+    let total_i: f64 = {
+        // Approximate pack current demand for the fixed point.
+        let mean_v: f64 = {
+            let usable: Vec<&BatteryView> = input.batteries.iter().filter(|b| !b.empty).collect();
+            if usable.is_empty() {
+                return Err(SdbError::Infeasible("all batteries empty"));
+            }
+            usable.iter().map(|b| b.ocv_v).sum::<f64>() / usable.len() as f64
+        };
+        (input.load_w / mean_v).max(0.0)
+    };
+    // δ'i: ohms added per amp drawn for RBL_HORIZON_H hours.
+    let delta: Vec<f64> = input
+        .batteries
+        .iter()
+        .map(|b| b.dcir_slope * RBL_HORIZON_H / b.capacity_ah.max(1e-9))
+        .collect();
+    let mut currents = vec![0.0f64; n];
+    // Initialize with the parallel-resistor split.
+    let mut weights: Vec<f64> = input
+        .batteries
+        .iter()
+        .map(|b| {
+            if b.empty {
+                0.0
+            } else {
+                b.ocv_v / b.resistance_ohm.max(1e-6)
+            }
+        })
+        .collect();
+    for _ in 0..12 {
+        let ratios = match normalize(&weights) {
+            Some(r) => r,
+            None => return Err(SdbError::Infeasible("all batteries empty")),
+        };
+        for i in 0..n {
+            currents[i] = ratios[i] * total_i;
+        }
+        for i in 0..n {
+            weights[i] = if input.batteries[i].empty {
+                0.0
+            } else {
+                let r_eff = input.batteries[i].resistance_ohm + delta[i] * currents[i];
+                input.batteries[i].ocv_v / r_eff.max(1e-6)
+            };
+        }
+    }
+    // Cap at per-battery current limits, shifting the excess.
+    let mut ratios = normalize(&weights).ok_or(SdbError::Infeasible("all batteries empty"))?;
+    if total_i > 0.0 {
+        for _ in 0..n {
+            let mut excess = 0.0;
+            let mut headroom_sum = 0.0;
+            for (i, b) in input.batteries.iter().enumerate() {
+                let want = ratios[i] * total_i;
+                if want > b.max_discharge_a {
+                    excess += want - b.max_discharge_a;
+                    ratios[i] = b.max_discharge_a / total_i;
+                } else if !b.empty {
+                    headroom_sum += b.max_discharge_a - want;
+                }
+            }
+            if excess <= 1e-12 || headroom_sum <= 1e-12 {
+                break;
+            }
+            for (i, b) in input.batteries.iter().enumerate() {
+                let have = ratios[i] * total_i;
+                if !b.empty && have < b.max_discharge_a {
+                    let add = excess * (b.max_discharge_a - have) / headroom_sum;
+                    ratios[i] = (have + add) / total_i;
+                }
+            }
+        }
+        // If demand exceeds the pack's combined current capability, plain
+        // renormalization would push capped batteries back over their
+        // limits; fall back to a cap-proportional split instead (the
+        // hardware re-checks feasibility and reports any true shortfall).
+        let total_cap: f64 = input
+            .batteries
+            .iter()
+            .map(|b| if b.empty { 0.0 } else { b.max_discharge_a })
+            .sum();
+        if total_i > total_cap && total_cap > 0.0 {
+            for (r, b) in ratios.iter_mut().zip(&input.batteries) {
+                *r = if b.empty {
+                    0.0
+                } else {
+                    b.max_discharge_a / total_cap
+                };
+            }
+        } else {
+            let sum: f64 = ratios.iter().sum();
+            if sum > 0.0 {
+                ratios.iter_mut().for_each(|r| *r /= sum);
+            }
+        }
+    }
+    Ok(ratios)
+}
+
+/// RBL-Charge: maximize the rate of *useful* charge accumulation — fill
+/// the batteries that accept the most power with the least loss. Weights
+/// are each battery's acceptance power discounted by its resistive
+/// charging inefficiency.
+///
+/// # Errors
+///
+/// [`SdbError::Infeasible`] if no battery can accept charge.
+pub fn rbl_charge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+    let weights: Vec<f64> = input
+        .batteries
+        .iter()
+        .map(|b| {
+            if b.full || b.charge_acceptance_a <= 0.0 {
+                0.0
+            } else {
+                let p_accept = b.charge_acceptance_a * b.ocv_v;
+                let eta = (1.0 - b.charge_acceptance_a * b.resistance_ohm / b.ocv_v.max(1e-6))
+                    .clamp(0.05, 1.0);
+                p_accept * eta
+            }
+        })
+        .collect();
+    normalize(&weights).ok_or(SdbError::Infeasible("no battery can accept charge"))
+}
+
+/// The discharging directive parameter: 0 = pure CCB-Discharge (longevity),
+/// 1 = pure RBL-Discharge (maximize remaining battery life now).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DischargeDirective(f64);
+
+impl DischargeDirective {
+    /// Creates a directive, clamping into `[0, 1]`.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        Self(value.clamp(0.0, 1.0))
+    }
+
+    /// Creates a directive, rejecting out-of-range values.
+    ///
+    /// # Errors
+    ///
+    /// [`SdbError::BadDirective`] outside `[0, 1]`.
+    pub fn try_new(value: f64) -> Result<Self, SdbError> {
+        if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+            return Err(SdbError::BadDirective(value));
+        }
+        Ok(Self(value))
+    }
+
+    /// The parameter value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Blended discharge ratios.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasibility when every battery is empty.
+    pub fn ratios(self, input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+        blend(self.0, &ccb_discharge(input)?, &rbl_discharge(input)?)
+    }
+}
+
+/// The charging directive parameter: 0 = pure CCB-Charge (no hurry,
+/// balance wear — overnight), 1 = pure RBL-Charge (useful charge as fast
+/// as possible — before boarding a plane).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChargeDirective(f64);
+
+impl ChargeDirective {
+    /// Creates a directive, clamping into `[0, 1]`.
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        Self(value.clamp(0.0, 1.0))
+    }
+
+    /// Creates a directive, rejecting out-of-range values.
+    ///
+    /// # Errors
+    ///
+    /// [`SdbError::BadDirective`] outside `[0, 1]`.
+    pub fn try_new(value: f64) -> Result<Self, SdbError> {
+        if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+            return Err(SdbError::BadDirective(value));
+        }
+        Ok(Self(value))
+    }
+
+    /// The parameter value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Blended charge ratios.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasibility when no battery can accept charge.
+    pub fn ratios(self, input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+        blend(self.0, &ccb_charge(input)?, &rbl_charge(input)?)
+    }
+}
+
+fn blend(d: f64, ccb: &[f64], rbl: &[f64]) -> Result<Vec<f64>, SdbError> {
+    let mixed: Vec<f64> = ccb
+        .iter()
+        .zip(rbl)
+        .map(|(&c, &r)| (1.0 - d) * c + d * r)
+        .collect();
+    normalize(&mixed).ok_or(SdbError::Infeasible("blend produced zero weights"))
+}
+
+/// The workload-aware watch policy (Section 5.2, Figure 13's "Policy 2"):
+/// at light loads it drains the *inefficient* battery preferentially,
+/// preserving the efficient Li-ion for predicted high-power episodes; at
+/// high loads it shifts to the efficient battery.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreservePolicy {
+    /// Index of the efficient battery being preserved.
+    pub efficient: usize,
+    /// Index of the inefficient (e.g. bendable) battery to drain first.
+    pub inefficient: usize,
+    /// Load at or above which the efficient battery takes over, watts.
+    pub high_power_threshold_w: f64,
+    /// Share still drawn from the efficient battery at light load (keeps
+    /// the split strictly feasible when the inefficient cell sags).
+    pub light_load_efficient_share: f64,
+}
+
+impl PreservePolicy {
+    /// A watch policy preserving `efficient` and preferring `inefficient`
+    /// under `threshold_w`.
+    #[must_use]
+    pub fn new(efficient: usize, inefficient: usize, threshold_w: f64) -> Self {
+        Self {
+            efficient,
+            inefficient,
+            high_power_threshold_w: threshold_w,
+            light_load_efficient_share: 0.05,
+        }
+    }
+
+    /// Discharge ratios for the current snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SdbError::BadIndex`] for out-of-range battery indices;
+    /// [`SdbError::Infeasible`] when every battery is empty.
+    pub fn ratios(&self, input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+        let n = input.batteries.len();
+        if self.efficient >= n || self.inefficient >= n {
+            return Err(SdbError::BadIndex {
+                index: self.efficient.max(self.inefficient),
+                count: n,
+            });
+        }
+        let eff = &input.batteries[self.efficient];
+        let ineff = &input.batteries[self.inefficient];
+        let mut weights = vec![0.0; n];
+        if input.load_w >= self.high_power_threshold_w {
+            // High-power episode: this is what we saved the efficient
+            // battery for. Draw from it primarily; let the inefficient cell
+            // contribute a little if the efficient one is low.
+            if !eff.empty {
+                weights[self.efficient] = 0.9;
+                if !ineff.empty {
+                    weights[self.inefficient] = 0.1;
+                }
+            } else if !ineff.empty {
+                weights[self.inefficient] = 1.0;
+            }
+        } else {
+            // Light load: spend the inefficient battery.
+            if !ineff.empty {
+                weights[self.inefficient] = 1.0 - self.light_load_efficient_share;
+                if !eff.empty {
+                    weights[self.efficient] = self.light_load_efficient_share;
+                }
+            } else if !eff.empty {
+                weights[self.efficient] = 1.0;
+            }
+        }
+        normalize(&weights).ok_or(SdbError::Infeasible("all batteries empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(soc: f64, r: f64, wear: f64) -> BatteryView {
+        BatteryView {
+            soc,
+            ocv_v: 3.8,
+            resistance_ohm: r,
+            dcir_slope: 0.1,
+            wear,
+            capacity_ah: 2.0,
+            max_discharge_a: 4.0,
+            charge_acceptance_a: if soc >= 1.0 { 0.0 } else { 1.4 },
+            empty: soc <= 0.0,
+            full: soc >= 1.0,
+        }
+    }
+
+    fn input(batteries: Vec<BatteryView>, load_w: f64) -> PolicyInput {
+        PolicyInput {
+            batteries,
+            load_w,
+            external_w: 0.0,
+        }
+    }
+
+    #[test]
+    fn normalize_handles_zeros() {
+        assert_eq!(normalize(&[0.0, 0.0]), None);
+        let r = normalize(&[1.0, 3.0]).unwrap();
+        assert!((r[0] - 0.25).abs() < 1e-12 && (r[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccb_discharge_prefers_less_worn() {
+        let inp = input(vec![view(0.8, 0.05, 0.40), view(0.8, 0.05, 0.10)], 2.0);
+        let r = ccb_discharge(&inp).unwrap();
+        assert!(r[1] > r[0], "{r:?}");
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccb_discharge_equal_wear_splits_evenly() {
+        let inp = input(vec![view(0.8, 0.05, 0.2), view(0.8, 0.05, 0.2)], 2.0);
+        let r = ccb_discharge(&inp).unwrap();
+        assert!((r[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ccb_skips_empty_batteries() {
+        let inp = input(vec![view(0.0, 0.05, 0.0), view(0.8, 0.05, 0.5)], 2.0);
+        let r = ccb_discharge(&inp).unwrap();
+        assert_eq!(r[0], 0.0);
+        assert!((r[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccb_all_empty_is_infeasible() {
+        let inp = input(vec![view(0.0, 0.05, 0.1)], 2.0);
+        assert!(matches!(ccb_discharge(&inp), Err(SdbError::Infeasible(_))));
+    }
+
+    #[test]
+    fn rbl_discharge_prefers_low_resistance() {
+        // Battery 1 has 4x the resistance: parallel split sends most load
+        // to battery 0.
+        let inp = input(vec![view(0.8, 0.05, 0.0), view(0.8, 0.20, 0.0)], 2.0);
+        let r = rbl_discharge(&inp).unwrap();
+        assert!(r[0] > 0.7, "{r:?}");
+        assert!(r[1] > 0.0, "both still contribute");
+    }
+
+    #[test]
+    fn rbl_discharge_equal_cells_split_evenly() {
+        let inp = input(vec![view(0.8, 0.08, 0.0), view(0.8, 0.08, 0.0)], 2.0);
+        let r = rbl_discharge(&inp).unwrap();
+        assert!((r[0] - 0.5).abs() < 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn rbl_discharge_respects_current_limits() {
+        // Tiny battery 0 with a 0.5 A cap cannot take most of a 12 W load
+        // (which the pack as a whole *can* supply within limits).
+        let mut small = view(0.8, 0.02, 0.0);
+        small.max_discharge_a = 0.5;
+        let inp = input(vec![small, view(0.8, 0.10, 0.0)], 12.0);
+        let r = rbl_discharge(&inp).unwrap();
+        let total_i = 12.0 / 3.8;
+        assert!(r[0] * total_i <= 0.5 + 1e-6, "{r:?}");
+    }
+
+    #[test]
+    fn rbl_slope_term_shifts_load_away_from_steep_cells() {
+        // Same resistance, but battery 1's DCIR climbs steeply as it
+        // drains: the horizon-aware allocator sends it less.
+        let mut steep = view(0.3, 0.08, 0.0);
+        steep.dcir_slope = 3.0;
+        let mut flat = view(0.3, 0.08, 0.0);
+        flat.dcir_slope = 0.0;
+        let inp = input(vec![flat, steep], 6.0);
+        let r = rbl_discharge(&inp).unwrap();
+        assert!(r[0] > r[1], "{r:?}");
+    }
+
+    #[test]
+    fn rbl_charge_prefers_fast_acceptors() {
+        let mut fast = view(0.3, 0.05, 0.0);
+        fast.charge_acceptance_a = 4.0;
+        let mut slow = view(0.3, 0.05, 0.0);
+        slow.charge_acceptance_a = 1.0;
+        let inp = input(vec![fast, slow], 0.0).with_external(20.0);
+        let r = rbl_charge(&inp).unwrap();
+        assert!(r[0] > 0.7, "{r:?}");
+    }
+
+    #[test]
+    fn rbl_charge_skips_full() {
+        let inp = input(vec![view(1.0, 0.05, 0.0), view(0.5, 0.05, 0.0)], 0.0);
+        let r = rbl_charge(&inp).unwrap();
+        assert_eq!(r[0], 0.0);
+    }
+
+    #[test]
+    fn directives_clamp_and_validate() {
+        assert_eq!(DischargeDirective::new(2.0).value(), 1.0);
+        assert_eq!(ChargeDirective::new(-1.0).value(), 0.0);
+        assert!(DischargeDirective::try_new(1.2).is_err());
+        assert!(ChargeDirective::try_new(f64::NAN).is_err());
+        assert!(ChargeDirective::try_new(0.5).is_ok());
+    }
+
+    #[test]
+    fn blend_interpolates() {
+        // Worn battery 0 (CCB avoids), high-resistance battery 1 (RBL
+        // avoids): the directive slides the split between the two.
+        let b0 = view(0.8, 0.02, 0.9);
+        let b1 = view(0.8, 0.30, 0.0);
+        let inp = input(vec![b0, b1], 2.0);
+        let at_ccb = DischargeDirective::new(0.0).ratios(&inp).unwrap();
+        let at_rbl = DischargeDirective::new(1.0).ratios(&inp).unwrap();
+        let mid = DischargeDirective::new(0.5).ratios(&inp).unwrap();
+        assert!(at_ccb[1] > at_rbl[1], "CCB favors the unworn battery 1");
+        assert!(mid[1] < at_ccb[1] && mid[1] > at_rbl[1]);
+    }
+
+    #[test]
+    fn preserve_policy_light_load_drains_inefficient() {
+        let p = PreservePolicy::new(0, 1, 0.15);
+        let inp = input(vec![view(0.9, 0.05, 0.0), view(0.9, 0.5, 0.0)], 0.05);
+        let r = p.ratios(&inp).unwrap();
+        assert!(r[1] > 0.9, "{r:?}");
+    }
+
+    #[test]
+    fn preserve_policy_high_load_uses_efficient() {
+        let p = PreservePolicy::new(0, 1, 0.15);
+        let inp = input(vec![view(0.9, 0.05, 0.0), view(0.9, 0.5, 0.0)], 0.3);
+        let r = p.ratios(&inp).unwrap();
+        assert!(r[0] >= 0.9, "{r:?}");
+    }
+
+    #[test]
+    fn preserve_policy_falls_back_when_preferred_empty() {
+        let p = PreservePolicy::new(0, 1, 0.15);
+        // Inefficient battery empty at light load → efficient takes all.
+        let inp = input(vec![view(0.9, 0.05, 0.0), view(0.0, 0.5, 0.0)], 0.05);
+        let r = p.ratios(&inp).unwrap();
+        assert!((r[0] - 1.0).abs() < 1e-12);
+        // Efficient empty at high load → inefficient takes all.
+        let inp = input(vec![view(0.0, 0.05, 0.0), view(0.5, 0.5, 0.0)], 0.3);
+        let r = p.ratios(&inp).unwrap();
+        assert!((r[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preserve_policy_validates_indices() {
+        let p = PreservePolicy::new(0, 5, 0.15);
+        let inp = input(vec![view(0.9, 0.05, 0.0), view(0.9, 0.5, 0.0)], 0.05);
+        assert!(matches!(p.ratios(&inp), Err(SdbError::BadIndex { .. })));
+    }
+}

@@ -1,0 +1,191 @@
+//! Usage prediction → directive parameters.
+//!
+//! The paper's future-work direction (Section 8): "we are tying personal
+//! assistants like Siri, Cortana, and Google Now with SDB. These assistants
+//! understand user behavior and the user's schedule and by using this
+//! information, an OS can perform better parameter selection." We
+//! reproduce the mechanism with a simple statistical predictor: an
+//! exponentially weighted profile of hourly power demand, learned across
+//! days, from which the runtime derives directive parameters and preserve
+//! decisions.
+
+/// Learns a 24-bucket daily power profile by exponential averaging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UsagePredictor {
+    /// EWMA of mean power per hour-of-day, watts.
+    hourly_w: [f64; 24],
+    /// Number of full days observed.
+    days: u32,
+    /// EWMA smoothing factor per day.
+    alpha: f64,
+}
+
+impl UsagePredictor {
+    /// A fresh predictor (no history).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            hourly_w: [0.0; 24],
+            days: 0,
+            alpha: 0.3,
+        }
+    }
+
+    /// Ingests one observed day of hourly mean powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hourly_w` has fewer than 24 entries.
+    pub fn observe_day(&mut self, hourly_w: &[f64]) {
+        assert!(hourly_w.len() >= 24, "need 24 hourly buckets");
+        for (learned, &observed) in self.hourly_w.iter_mut().zip(hourly_w) {
+            if self.days == 0 {
+                *learned = observed;
+            } else {
+                *learned = self.alpha * observed + (1.0 - self.alpha) * *learned;
+            }
+        }
+        self.days += 1;
+    }
+
+    /// Predicted mean power for an hour of the day, watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    #[must_use]
+    pub fn predicted_w(&self, hour: usize) -> f64 {
+        assert!(hour < 24);
+        self.hourly_w[hour]
+    }
+
+    /// Whether a high-power episode (≥ `threshold_w`) is expected within
+    /// the next `horizon_h` hours after `now_hour`.
+    #[must_use]
+    pub fn high_power_expected(&self, now_hour: usize, horizon_h: usize, threshold_w: f64) -> bool {
+        (1..=horizon_h).any(|k| self.hourly_w[(now_hour + k) % 24] >= threshold_w)
+    }
+
+    /// Maps the prediction to a discharging directive parameter: when a
+    /// demanding episode is coming, lean toward preservation (low value —
+    /// the runtime pairs this with a preserve policy); otherwise maximize
+    /// instantaneous battery life (high value).
+    #[must_use]
+    pub fn discharge_directive(&self, now_hour: usize, threshold_w: f64) -> f64 {
+        if self.days == 0 {
+            // No history: neutral.
+            0.5
+        } else if self.high_power_expected(now_hour, 6, threshold_w) {
+            0.1
+        } else {
+            0.9
+        }
+    }
+
+    /// Maps a charging context to a charging directive parameter: overnight
+    /// charging (device expected idle for many hours) can take its time
+    /// (low value → CCB); a short window before predicted heavy use should
+    /// charge usefully fast (high value → RBL).
+    #[must_use]
+    pub fn charge_directive(&self, now_hour: usize, plugged_expected_h: f64) -> f64 {
+        if plugged_expected_h >= 4.0 {
+            0.05
+        } else if self.high_power_expected(now_hour, 3, self.peak_w() * 0.7) {
+            0.95
+        } else {
+            0.5
+        }
+    }
+
+    /// The learned daily peak, watts.
+    #[must_use]
+    pub fn peak_w(&self) -> f64 {
+        self.hourly_w.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Days of history ingested.
+    #[must_use]
+    pub fn days(&self) -> u32 {
+        self.days
+    }
+}
+
+impl Default for UsagePredictor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn day_with_run(run_hour: usize) -> Vec<f64> {
+        let mut d = vec![0.05; 24];
+        d[run_hour] = 0.3;
+        d
+    }
+
+    #[test]
+    fn learns_daily_pattern() {
+        let mut p = UsagePredictor::new();
+        for _ in 0..5 {
+            p.observe_day(&day_with_run(9));
+        }
+        assert!(p.predicted_w(9) > 0.25);
+        assert!(p.predicted_w(3) < 0.1);
+        assert_eq!(p.days(), 5);
+    }
+
+    #[test]
+    fn detects_upcoming_high_power() {
+        let mut p = UsagePredictor::new();
+        p.observe_day(&day_with_run(9));
+        assert!(p.high_power_expected(7, 3, 0.2));
+        assert!(!p.high_power_expected(11, 3, 0.2));
+        // Wraps around midnight.
+        assert!(p.high_power_expected(23, 12, 0.2));
+    }
+
+    #[test]
+    fn directive_low_before_run_high_after() {
+        let mut p = UsagePredictor::new();
+        for _ in 0..3 {
+            p.observe_day(&day_with_run(9));
+        }
+        assert!(
+            p.discharge_directive(7, 0.2) < 0.3,
+            "preserve before the run"
+        );
+        assert!(p.discharge_directive(12, 0.2) > 0.7, "spend freely after");
+    }
+
+    #[test]
+    fn neutral_without_history() {
+        let p = UsagePredictor::new();
+        assert!((p.discharge_directive(7, 0.2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overnight_charging_is_gentle() {
+        let mut p = UsagePredictor::new();
+        p.observe_day(&day_with_run(9));
+        assert!(p.charge_directive(23, 8.0) < 0.1);
+        assert!(
+            p.charge_directive(7, 0.5) > 0.9,
+            "fast charge before the run"
+        );
+    }
+
+    #[test]
+    fn ewma_adapts_to_schedule_change() {
+        let mut p = UsagePredictor::new();
+        for _ in 0..5 {
+            p.observe_day(&day_with_run(9));
+        }
+        for _ in 0..12 {
+            p.observe_day(&day_with_run(18));
+        }
+        assert!(p.predicted_w(18) > p.predicted_w(9));
+    }
+}

@@ -1,0 +1,256 @@
+//! The SDB Runtime loop.
+//!
+//! "The SDB runtime calculates these power values at coarse granular time
+//! steps and updates the ratios" (Section 3.3). The runtime holds the two
+//! directive parameters set by the rest of the OS, consults the policies,
+//! and pushes ratio changes through the [`crate::api::SdbApi`] only when
+//! they changed materially (avoiding needless bus traffic).
+
+use crate::api::SdbApi;
+use crate::error::SdbError;
+use crate::policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
+
+/// The SDB Runtime.
+#[derive(Debug, Clone)]
+pub struct SdbRuntime {
+    n: usize,
+    charge_directive: ChargeDirective,
+    discharge_directive: DischargeDirective,
+    /// Optional workload-aware override for discharge (the watch policy).
+    preserve: Option<PreservePolicy>,
+    /// Seconds between policy re-evaluations.
+    update_period_s: f64,
+    since_update_s: f64,
+    last_discharge: Vec<f64>,
+    last_charge: Vec<f64>,
+    /// Ratio pushes actually sent to the hardware.
+    pushes: u64,
+}
+
+impl SdbRuntime {
+    /// A runtime for an `n`-battery pack with neutral directives and a
+    /// 60-second update period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "need at least one battery");
+        Self {
+            n,
+            charge_directive: ChargeDirective::new(0.5),
+            discharge_directive: DischargeDirective::new(0.5),
+            preserve: None,
+            update_period_s: 60.0,
+            since_update_s: f64::INFINITY, // force an update on first call
+            last_discharge: Vec::new(),
+            last_charge: Vec::new(),
+            pushes: 0,
+        }
+    }
+
+    /// Sets the charging directive parameter (0 = longevity, 1 = fast
+    /// useful charge).
+    pub fn set_charge_directive(&mut self, d: ChargeDirective) {
+        self.charge_directive = d;
+    }
+
+    /// Sets the discharging directive parameter (0 = longevity, 1 =
+    /// maximize instantaneous battery life).
+    pub fn set_discharge_directive(&mut self, d: DischargeDirective) {
+        self.discharge_directive = d;
+    }
+
+    /// Installs (or clears) the workload-aware preserve policy.
+    pub fn set_preserve(&mut self, p: Option<PreservePolicy>) {
+        self.preserve = p;
+    }
+
+    /// Sets the policy re-evaluation period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_s` is not positive.
+    pub fn set_update_period(&mut self, period_s: f64) {
+        assert!(period_s > 0.0, "period must be positive");
+        self.update_period_s = period_s;
+    }
+
+    /// The charging directive currently in force.
+    #[must_use]
+    pub fn charge_directive(&self) -> ChargeDirective {
+        self.charge_directive
+    }
+
+    /// The discharging directive currently in force.
+    #[must_use]
+    pub fn discharge_directive(&self) -> DischargeDirective {
+        self.discharge_directive
+    }
+
+    /// Number of ratio updates pushed to the hardware.
+    #[must_use]
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Runs one runtime tick: if the update period has elapsed, re-evaluate
+    /// policies on `input` and push changed ratios through `api`. Returns
+    /// whether anything was pushed.
+    ///
+    /// Infeasible allocations (all batteries empty / full) are not errors
+    /// at this level — the runtime simply leaves the previous ratios in
+    /// force, as the hardware must keep operating.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware rejections from the API.
+    pub fn tick(
+        &mut self,
+        api: &mut dyn SdbApi,
+        input: &PolicyInput,
+        dt_s: f64,
+    ) -> Result<bool, SdbError> {
+        self.since_update_s += dt_s;
+        if self.since_update_s < self.update_period_s {
+            return Ok(false);
+        }
+        self.since_update_s = 0.0;
+        let mut pushed = false;
+
+        let discharge = match &self.preserve {
+            Some(p) => p.ratios(input),
+            None => self.discharge_directive.ratios(input),
+        };
+        if let Ok(ratios) = discharge {
+            if materially_different(&ratios, &self.last_discharge) {
+                api.discharge(&ratios)?;
+                self.last_discharge = ratios;
+                self.pushes += 1;
+                pushed = true;
+            }
+        }
+
+        if let Ok(ratios) = self.charge_directive.ratios(input) {
+            if materially_different(&ratios, &self.last_charge) {
+                api.charge(&ratios)?;
+                self.last_charge = ratios;
+                self.pushes += 1;
+                pushed = true;
+            }
+        }
+        Ok(pushed)
+    }
+
+    /// Number of batteries this runtime manages.
+    #[must_use]
+    pub fn battery_count(&self) -> usize {
+        self.n
+    }
+}
+
+/// Ratios differ materially if any component moved by more than one
+/// percentage point.
+fn materially_different(a: &[f64], b: &[f64]) -> bool {
+    if a.len() != b.len() {
+        return true;
+    }
+    a.iter().zip(b).any(|(x, y)| (x - y).abs() > 0.01)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyInput;
+    use sdb_battery_model::chemistry::Chemistry;
+    use sdb_battery_model::spec::BatterySpec;
+    use sdb_emulator::micro::Microcontroller;
+    use sdb_emulator::pack::PackBuilder;
+
+    fn micro() -> Microcontroller {
+        PackBuilder::new()
+            .battery(BatterySpec::from_chemistry(
+                "a",
+                Chemistry::Type2CoStandard,
+                2.0,
+            ))
+            .battery(BatterySpec::from_chemistry(
+                "b",
+                Chemistry::Type3CoPower,
+                2.0,
+            ))
+            .build()
+    }
+
+    #[test]
+    fn first_tick_pushes() {
+        let mut m = micro();
+        let mut rt = SdbRuntime::new(2);
+        let input = PolicyInput::from_micro(&m).with_load(4.0);
+        let pushed = rt.tick(&mut m, &input, 1.0).unwrap();
+        assert!(pushed);
+        assert!(rt.pushes() >= 1);
+    }
+
+    #[test]
+    fn updates_rate_limited() {
+        let mut m = micro();
+        let mut rt = SdbRuntime::new(2);
+        rt.set_update_period(60.0);
+        let input = PolicyInput::from_micro(&m).with_load(4.0);
+        rt.tick(&mut m, &input, 1.0).unwrap();
+        let pushes_after_first = rt.pushes();
+        // 30 seconds of ticks: no re-evaluation.
+        for _ in 0..30 {
+            assert!(!rt.tick(&mut m, &input, 1.0).unwrap());
+        }
+        assert_eq!(rt.pushes(), pushes_after_first);
+    }
+
+    #[test]
+    fn unchanged_ratios_not_repushed() {
+        let mut m = micro();
+        let mut rt = SdbRuntime::new(2);
+        rt.set_update_period(1.0);
+        let input = PolicyInput::from_micro(&m).with_load(4.0);
+        rt.tick(&mut m, &input, 2.0).unwrap();
+        let pushes = rt.pushes();
+        // Same input again after the period: ratios identical, no push.
+        assert!(!rt.tick(&mut m, &input, 2.0).unwrap());
+        assert_eq!(rt.pushes(), pushes);
+    }
+
+    #[test]
+    fn preserve_policy_overrides_discharge() {
+        let mut m = micro();
+        let mut rt = SdbRuntime::new(2);
+        rt.set_preserve(Some(crate::policy::PreservePolicy::new(0, 1, 1.0)));
+        let input = PolicyInput::from_micro(&m).with_load(0.2);
+        rt.tick(&mut m, &input, 1.0).unwrap();
+        // Light load: battery 1 (inefficient) carries nearly everything.
+        assert!(m.discharge_ratios()[1] > 0.9);
+    }
+
+    #[test]
+    fn all_empty_keeps_previous_ratios() {
+        let mut m = PackBuilder::new()
+            .battery_at(
+                BatterySpec::from_chemistry("a", Chemistry::Type2CoStandard, 2.0),
+                0.0,
+                sdb_emulator::profile::ProfileKind::Standard,
+            )
+            .battery_at(
+                BatterySpec::from_chemistry("b", Chemistry::Type2CoStandard, 2.0),
+                0.0,
+                sdb_emulator::profile::ProfileKind::Standard,
+            )
+            .build();
+        let mut rt = SdbRuntime::new(2);
+        let input = PolicyInput::from_micro(&m).with_load(4.0);
+        // Infeasible discharge (both empty) — tick succeeds, pushes only
+        // the charge ratios (both cells accept charge when empty).
+        let r = rt.tick(&mut m, &input, 1.0);
+        assert!(r.is_ok());
+    }
+}

@@ -1,0 +1,241 @@
+//! The fast-charging hybrid pack scenario (Section 5.1, Figure 11).
+//!
+//! "We meet the total capacity requirement of the device, of 8000 mAh,
+//! using 0 %, 50 %, and 100 % from a high energy density battery" —
+//! i.e. pure high-energy (Type 2), a 50/50 SDB mix, and pure fast-charging
+//! (Type 3) packs. The scenario computes the three panels:
+//!
+//! * **Figure 11a** — pack energy density vs fast-charging fraction.
+//! * **Figure 11b** — time to reach each charge percentage.
+//! * **Figure 11c** — longevity after 1000 cycles.
+
+use crate::policy::ChargeDirective;
+use crate::runtime::SdbRuntime;
+use crate::scheduler::run_charge_session;
+use sdb_battery_model::aging::FadeModel;
+use sdb_battery_model::chemistry::Chemistry;
+use sdb_battery_model::spec::BatterySpec;
+use sdb_emulator::micro::Microcontroller;
+use sdb_emulator::pack::PackBuilder;
+use sdb_emulator::profile::ProfileKind;
+
+/// A hybrid pack configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Fraction of the capacity budget given to the fast-charging (Type 3)
+    /// battery, `[0, 1]`.
+    pub fast_fraction: f64,
+    /// Total pack capacity budget, amp-hours (the paper uses 8.0).
+    pub total_capacity_ah: f64,
+}
+
+impl HybridConfig {
+    /// The paper's three configurations over the 8000 mAh budget.
+    #[must_use]
+    pub fn paper_configs() -> [HybridConfig; 3] {
+        [
+            HybridConfig {
+                fast_fraction: 0.0,
+                total_capacity_ah: 8.0,
+            },
+            HybridConfig {
+                fast_fraction: 0.5,
+                total_capacity_ah: 8.0,
+            },
+            HybridConfig {
+                fast_fraction: 1.0,
+                total_capacity_ah: 8.0,
+            },
+        ]
+    }
+
+    /// Display label matching the paper's x-axis.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{:.0}%", self.fast_fraction * 100.0)
+    }
+
+    /// Builds the pack at `initial_soc`, fast cell on its fast profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fast_fraction` is outside `[0, 1]` or the budget is not
+    /// positive.
+    #[must_use]
+    pub fn build_pack(&self, initial_soc: f64) -> Microcontroller {
+        assert!((0.0..=1.0).contains(&self.fast_fraction), "bad fraction");
+        assert!(self.total_capacity_ah > 0.0, "bad capacity");
+        let fast_ah = self.fast_fraction * self.total_capacity_ah;
+        let energy_ah = self.total_capacity_ah - fast_ah;
+        let mut b = PackBuilder::new();
+        if energy_ah > 0.0 {
+            b = b.battery_at(
+                BatterySpec::from_chemistry("high-energy", Chemistry::Type2CoStandard, energy_ah),
+                initial_soc,
+                ProfileKind::Standard,
+            );
+        }
+        if fast_ah > 0.0 {
+            b = b.battery_at(
+                BatterySpec::from_chemistry("fast-charge", Chemistry::Type3CoPower, fast_ah),
+                initial_soc,
+                ProfileKind::Fast,
+            );
+        }
+        b.build()
+    }
+
+    /// Figure 11a: effective pack energy density, Wh/l. The fast-charging
+    /// cell's density already accounts for high-current swelling
+    /// (Section 5.1: effective 500–510 Wh/l vs 590–600 for high-energy).
+    #[must_use]
+    pub fn energy_density_wh_per_l(&self) -> f64 {
+        let v_e = Chemistry::Type2CoStandard.nominal_voltage_v();
+        let v_f = Chemistry::Type3CoPower.nominal_voltage_v();
+        let e_wh = (1.0 - self.fast_fraction) * self.total_capacity_ah * v_e;
+        let f_wh = self.fast_fraction * self.total_capacity_ah * v_f;
+        let e_l = e_wh / Chemistry::Type2CoStandard.effective_energy_density_wh_per_l();
+        let f_l = f_wh / Chemistry::Type3CoPower.effective_energy_density_wh_per_l();
+        (e_wh + f_wh) / (e_l + f_l)
+    }
+
+    /// Figure 11c: pack capacity retained after `cycles` charge cycles
+    /// under this configuration's charging regime (each cell fades at its
+    /// own profile's C-rate), capacity-weighted, percent.
+    #[must_use]
+    pub fn longevity_after_cycles(&self, cycles: u32) -> f64 {
+        let mut weighted = 0.0;
+        let fast_ah = self.fast_fraction * self.total_capacity_ah;
+        let energy_ah = self.total_capacity_ah - fast_ah;
+        if energy_ah > 0.0 {
+            let spec = BatterySpec::from_chemistry("e", Chemistry::Type2CoStandard, energy_ah);
+            let profile =
+                sdb_emulator::profile::ChargingProfile::for_spec(ProfileKind::Standard, &spec);
+            let c_rate = profile.cc_current_a / energy_ah;
+            weighted += FadeModel::for_spec(&spec).capacity_after(cycles, c_rate)
+                * (energy_ah / self.total_capacity_ah);
+        }
+        if fast_ah > 0.0 {
+            let spec = BatterySpec::from_chemistry("f", Chemistry::Type3CoPower, fast_ah);
+            let profile =
+                sdb_emulator::profile::ChargingProfile::for_spec(ProfileKind::Fast, &spec);
+            let c_rate = profile.cc_current_a / fast_ah;
+            weighted += FadeModel::for_spec(&spec).capacity_after(cycles, c_rate)
+                * (fast_ah / self.total_capacity_ah);
+        }
+        weighted * 100.0
+    }
+}
+
+/// Figure 11b: minutes to reach each percentage of total pack charge,
+/// charging from empty with `external_w` of supply under an urgent
+/// (RBL-weighted) charging directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChargeCurve {
+    /// Target pack charge percentages.
+    pub targets_pct: Vec<f64>,
+    /// Minutes to reach each target (`None` = not reached within the cap).
+    pub minutes: Vec<Option<f64>>,
+}
+
+impl ChargeCurve {
+    /// Minutes to reach `pct` (the nearest computed target at or above).
+    #[must_use]
+    pub fn minutes_to(&self, pct: f64) -> Option<f64> {
+        self.targets_pct
+            .iter()
+            .position(|&t| t >= pct - 1e-9)
+            .and_then(|i| self.minutes[i])
+    }
+}
+
+/// Runs the Figure 11b charging experiment for one configuration.
+#[must_use]
+pub fn charge_time_curve(config: &HybridConfig, external_w: f64) -> ChargeCurve {
+    let targets_pct: Vec<f64> = (3..=17).map(|k| k as f64 * 5.0).collect(); // 15..85 %
+    let targets: Vec<f64> = targets_pct.iter().map(|p| p / 100.0).collect();
+    let mut micro = config.build_pack(0.0);
+    let mut runtime = SdbRuntime::new(micro.battery_count());
+    runtime.set_charge_directive(ChargeDirective::new(1.0));
+    runtime.set_update_period(30.0);
+    let times = run_charge_session(
+        &mut micro,
+        &mut runtime,
+        external_w,
+        &targets,
+        6.0 * 3600.0,
+        15.0,
+    );
+    ChargeCurve {
+        targets_pct,
+        minutes: times.iter().map(|t| t.map(|s| s / 60.0)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_11a_energy_density_ordering() {
+        let [no_fast, half, all_fast] = HybridConfig::paper_configs();
+        let d0 = no_fast.energy_density_wh_per_l();
+        let d50 = half.energy_density_wh_per_l();
+        let d100 = all_fast.energy_density_wh_per_l();
+        assert!(d0 > d50 && d50 > d100, "{d0} > {d50} > {d100}");
+        // Paper: ~595 / ~550 / ~505 Wh/l.
+        assert!((d0 - 595.0).abs() < 10.0, "d0 = {d0}");
+        assert!((545.0..=560.0).contains(&d50), "d50 = {d50}");
+        assert!((500.0..=510.0).contains(&d100), "d100 = {d100}");
+        // The SDB mix loses < 9 % density vs pure high-energy (the paper
+        // quotes "less than 7 %" for *energy capacity* at its chosen cells;
+        // our library's density spread is slightly wider).
+        assert!((d0 - d50) / d0 < 0.09);
+    }
+
+    #[test]
+    fn figure_11b_fast_configs_charge_faster() {
+        let [no_fast, half, all_fast] = HybridConfig::paper_configs();
+        let c0 = charge_time_curve(&no_fast, 60.0);
+        let c50 = charge_time_curve(&half, 60.0);
+        let c100 = charge_time_curve(&all_fast, 60.0);
+        let t0 = c0.minutes_to(40.0).expect("traditional reaches 40 %");
+        let t50 = c50.minutes_to(40.0).expect("SDB reaches 40 %");
+        let t100 = c100.minutes_to(40.0).expect("fast reaches 40 %");
+        assert!(t100 < t50 && t50 < t0, "{t100} < {t50} < {t0}");
+        // Paper: SDB reaches 40 % about 3× faster than traditional.
+        let speedup = t0 / t50;
+        assert!(speedup > 1.8, "speedup = {speedup}");
+    }
+
+    #[test]
+    fn figure_11c_longevity_ordering() {
+        let [no_fast, half, all_fast] = HybridConfig::paper_configs();
+        let l0 = no_fast.longevity_after_cycles(1000);
+        let l50 = half.longevity_after_cycles(1000);
+        let l100 = all_fast.longevity_after_cycles(1000);
+        assert!(l0 > l50 && l50 > l100, "{l0} > {l50} > {l100}");
+        // Paper: pure high-energy loses ~10 %, pure fast ~22 %.
+        assert!((88.0..=94.0).contains(&l0), "l0 = {l0}");
+        assert!((74.0..=82.0).contains(&l100), "l100 = {l100}");
+        // SDB is a genuine middle ground.
+        assert!(l50 > l100 + 3.0 && l50 < l0 - 3.0);
+    }
+
+    #[test]
+    fn pack_composition_matches_fraction() {
+        let half = HybridConfig {
+            fast_fraction: 0.5,
+            total_capacity_ah: 8.0,
+        };
+        let pack = half.build_pack(0.5);
+        assert_eq!(pack.battery_count(), 2);
+        let caps: Vec<f64> = pack.cells().iter().map(|c| c.spec().capacity_ah).collect();
+        assert!((caps[0] - 4.0).abs() < 1e-12 && (caps[1] - 4.0).abs() < 1e-12);
+        let pure = HybridConfig {
+            fast_fraction: 0.0,
+            total_capacity_ah: 8.0,
+        };
+        assert_eq!(pure.build_pack(1.0).battery_count(), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! The Section 5 applications of SDB.
+//!
+//! Each submodule reproduces one scenario end-to-end on the emulated
+//! hardware and returns structured results the figure harness, benches,
+//! examples, and integration tests all share:
+//!
+//! * [`hybrid`] — high power-density + high energy-density packs: energy
+//!   density, charge speed, and longevity tradeoffs (Figure 11).
+//! * [`turbo`] — CPU performance priority levels on a hybrid pack
+//!   (Figure 12).
+//! * [`watch`] — the bendable-strap smart-watch and the preserve policy
+//!   (Figure 13).
+//! * [`two_in_one`] — 2-in-1 internal/external battery management
+//!   (Figure 14).
+//! * [`drone`] — the Section 8 future-work quadcopter: burst power vs
+//!   flight time (extension).
+
+pub mod drone;
+pub mod hybrid;
+pub mod turbo;
+pub mod two_in_one;
+pub mod watch;

@@ -1,0 +1,332 @@
+//! Simulation driver: runtime + emulator + workload traces.
+//!
+//! This is the equivalent of the paper's emulator harness (Section 4.3):
+//! measured power traces are fed into the battery emulation while the SDB
+//! Runtime adjusts ratios, and the driver books energy, losses, and
+//! depletion times for the Section 5 analyses.
+
+use crate::policy::PolicyInput;
+use crate::runtime::SdbRuntime;
+use sdb_emulator::micro::Microcontroller;
+use sdb_workloads::traces::Trace;
+
+/// Options for a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Maximum simulation step, seconds.
+    pub max_dt_s: f64,
+    /// Stop as soon as load goes unserved.
+    pub stop_on_brownout: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        Self {
+            max_dt_s: 60.0,
+            stop_on_brownout: false,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Wall-clock simulated, seconds.
+    pub simulated_s: f64,
+    /// Energy delivered to the load, joules.
+    pub supplied_j: f64,
+    /// Load energy that went unserved, joules.
+    pub unmet_j: f64,
+    /// Circuit losses, joules.
+    pub circuit_loss_j: f64,
+    /// Cell resistive heat, joules.
+    pub cell_heat_j: f64,
+    /// External energy consumed, joules.
+    pub external_j: f64,
+    /// Time of first unserved load, if any, seconds.
+    pub first_brownout_s: Option<f64>,
+    /// Per-battery time of first emptiness, seconds.
+    pub battery_empty_s: Vec<Option<f64>>,
+    /// Per-hour total losses (circuit + cell heat), joules.
+    pub hourly_loss_j: Vec<f64>,
+    /// Per-hour load energy, joules.
+    pub hourly_load_j: Vec<f64>,
+    /// Final per-battery SoC.
+    pub final_soc: Vec<f64>,
+}
+
+impl SimResult {
+    /// Total losses, joules.
+    #[must_use]
+    pub fn total_loss_j(&self) -> f64 {
+        self.circuit_loss_j + self.cell_heat_j
+    }
+
+    /// Effective battery life: time until the first brownout, or the full
+    /// simulated span if the load was always served, seconds.
+    #[must_use]
+    pub fn battery_life_s(&self) -> f64 {
+        self.first_brownout_s.unwrap_or(self.simulated_s)
+    }
+}
+
+/// Runs `trace` against the pack, letting `runtime` steer the ratios.
+#[must_use]
+pub fn run_trace(
+    micro: &mut Microcontroller,
+    runtime: &mut SdbRuntime,
+    trace: &Trace,
+    opts: &SimOptions,
+) -> SimResult {
+    run_trace_observed(micro, runtime, trace, opts, |_, _| {})
+}
+
+/// As [`run_trace`], additionally invoking `observer` after every step
+/// with the elapsed time and the step report (telemetry capture, live
+/// plotting, custom bookkeeping).
+pub fn run_trace_observed<F>(
+    micro: &mut Microcontroller,
+    runtime: &mut SdbRuntime,
+    trace: &Trace,
+    opts: &SimOptions,
+    mut observer: F,
+) -> SimResult
+where
+    F: FnMut(f64, &sdb_emulator::micro::StepReport),
+{
+    let n = micro.battery_count();
+    let start = micro.time_s();
+    let (d0, cl0, ch0, u0, e0) = micro.energy_totals_j();
+
+    let mut first_brownout = None;
+    let mut battery_empty: Vec<Option<f64>> = vec![None; n];
+    let mut hourly_loss = Vec::new();
+    let mut hourly_load = Vec::new();
+    let mut elapsed = 0.0f64;
+
+    let resampled = trace.resampled(opts.max_dt_s);
+    'outer: for p in resampled.points() {
+        let input = PolicyInput::from_micro(micro)
+            .with_load(p.load_w)
+            .with_external(p.external_w);
+        // Runtime failures (hardware rejection) are fatal in simulation.
+        runtime
+            .tick(micro, &input, p.dur_s)
+            .expect("runtime push rejected by emulated hardware");
+        let report = micro.step(p.load_w, p.external_w, p.dur_s);
+
+        // Apportion the step's energy across hour buckets it straddles.
+        let loss_w = report.circuit_loss_w + report.cell_heat_w;
+        let mut t = elapsed;
+        let mut remaining = p.dur_s;
+        while remaining > 1e-9 {
+            let hour = (t / 3600.0) as usize;
+            let take = remaining.min((hour + 1) as f64 * 3600.0 - t);
+            if hourly_loss.len() <= hour {
+                hourly_loss.resize(hour + 1, 0.0);
+                hourly_load.resize(hour + 1, 0.0);
+            }
+            hourly_loss[hour] += loss_w * take;
+            hourly_load[hour] += report.load_w * take;
+            t += take;
+            remaining -= take;
+        }
+
+        elapsed += p.dur_s;
+        observer(elapsed, &report);
+        for (i, cell) in micro.cells().iter().enumerate() {
+            if battery_empty[i].is_none() && cell.is_empty() {
+                battery_empty[i] = Some(elapsed);
+            }
+        }
+        if report.unmet_w > 1e-9 && first_brownout.is_none() {
+            first_brownout = Some(elapsed);
+            if opts.stop_on_brownout {
+                break 'outer;
+            }
+        }
+    }
+
+    let (d1, cl1, ch1, u1, e1) = micro.energy_totals_j();
+    SimResult {
+        simulated_s: micro.time_s() - start,
+        supplied_j: d1 - d0,
+        unmet_j: u1 - u0,
+        circuit_loss_j: cl1 - cl0,
+        cell_heat_j: ch1 - ch0,
+        external_j: e1 - e0,
+        first_brownout_s: first_brownout,
+        battery_empty_s: battery_empty,
+        hourly_loss_j: hourly_loss,
+        hourly_load_j: hourly_load,
+        final_soc: micro.cells().iter().map(|c| c.soc()).collect(),
+    }
+}
+
+/// Charges the pack from `external_w` at idle until the pack's total
+/// stored charge reaches each fraction in `targets` (of total rated
+/// capacity), or `max_s` elapses. Returns the time each target was reached.
+///
+/// # Panics
+///
+/// Panics if `targets` is not sorted ascending.
+#[must_use]
+pub fn run_charge_session(
+    micro: &mut Microcontroller,
+    runtime: &mut SdbRuntime,
+    external_w: f64,
+    targets: &[f64],
+    max_s: f64,
+    dt_s: f64,
+) -> Vec<Option<f64>> {
+    assert!(
+        targets.windows(2).all(|w| w[0] <= w[1]),
+        "targets must be ascending"
+    );
+    let total_cap_ah: f64 = micro.cells().iter().map(|c| c.spec().capacity_ah).sum();
+    let mut reached: Vec<Option<f64>> = vec![None; targets.len()];
+    let mut elapsed = 0.0;
+    while elapsed < max_s {
+        let input = PolicyInput::from_micro(micro).with_external(external_w);
+        runtime
+            .tick(micro, &input, dt_s)
+            .expect("runtime push rejected by emulated hardware");
+        micro.step(0.0, external_w, dt_s);
+        elapsed += dt_s;
+        let stored_ah: f64 = micro
+            .cells()
+            .iter()
+            .map(|c| c.soc() * c.spec().capacity_ah)
+            .sum();
+        let frac = stored_ah / total_cap_ah;
+        for (i, &t) in targets.iter().enumerate() {
+            if reached[i].is_none() && frac >= t {
+                reached[i] = Some(elapsed);
+            }
+        }
+        if reached.last().is_some_and(Option::is_some) {
+            break;
+        }
+    }
+    reached
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DischargeDirective;
+    use sdb_battery_model::chemistry::Chemistry;
+    use sdb_battery_model::spec::BatterySpec;
+    use sdb_emulator::pack::PackBuilder;
+    use sdb_emulator::profile::ProfileKind;
+
+    fn pack(soc: f64) -> Microcontroller {
+        PackBuilder::new()
+            .battery_at(
+                BatterySpec::from_chemistry("a", Chemistry::Type2CoStandard, 2.0),
+                soc,
+                ProfileKind::Standard,
+            )
+            .battery_at(
+                BatterySpec::from_chemistry("b", Chemistry::Type3CoPower, 2.0),
+                soc,
+                ProfileKind::Fast,
+            )
+            .build()
+    }
+
+    #[test]
+    fn constant_load_served() {
+        let mut m = pack(1.0);
+        let mut rt = SdbRuntime::new(2);
+        let result = run_trace(
+            &mut m,
+            &mut rt,
+            &Trace::constant(4.0, 3600.0),
+            &SimOptions::default(),
+        );
+        assert!((result.simulated_s - 3600.0).abs() < 1e-6);
+        assert!(result.unmet_j < 1e-6);
+        assert!((result.supplied_j - 4.0 * 3600.0).abs() / (4.0 * 3600.0) < 0.01);
+        assert!(result.first_brownout_s.is_none());
+        assert_eq!(result.hourly_load_j.len(), 1);
+    }
+
+    #[test]
+    fn depletion_detected() {
+        // Two 2 Ah cells ≈ 15 Wh total; a 20 W load kills them in ~40 min.
+        let mut m = pack(1.0);
+        let mut rt = SdbRuntime::new(2);
+        rt.set_discharge_directive(DischargeDirective::new(1.0));
+        let result = run_trace(
+            &mut m,
+            &mut rt,
+            &Trace::constant(20.0, 4.0 * 3600.0),
+            &SimOptions::default(),
+        );
+        let life = result.battery_life_s();
+        assert!(result.first_brownout_s.is_some());
+        assert!(life > 30.0 * 60.0 && life < 80.0 * 60.0, "life = {life}");
+        // Brownout occurs when the pack can no longer *supply the power*,
+        // which can precede exact coulomb-emptiness; both cells must be
+        // nearly drained though.
+        assert!(
+            result.final_soc.iter().all(|&s| s < 0.10),
+            "{:?}",
+            result.final_soc
+        );
+        assert!(result.unmet_j > 0.0);
+    }
+
+    #[test]
+    fn stop_on_brownout_truncates() {
+        let mut m = pack(0.05);
+        let mut rt = SdbRuntime::new(2);
+        let result = run_trace(
+            &mut m,
+            &mut rt,
+            &Trace::constant(10.0, 3600.0),
+            &SimOptions {
+                stop_on_brownout: true,
+                ..SimOptions::default()
+            },
+        );
+        assert!(result.simulated_s < 3600.0);
+        assert!(result.first_brownout_s.is_some());
+    }
+
+    #[test]
+    fn hourly_bookkeeping_sums_to_totals() {
+        let mut m = pack(1.0);
+        let mut rt = SdbRuntime::new(2);
+        let result = run_trace(
+            &mut m,
+            &mut rt,
+            &Trace::constant(5.0, 2.5 * 3600.0),
+            &SimOptions::default(),
+        );
+        assert_eq!(result.hourly_load_j.len(), 3);
+        let hourly_sum: f64 = result.hourly_loss_j.iter().sum();
+        assert!((hourly_sum - result.total_loss_j()).abs() / result.total_loss_j() < 0.01);
+    }
+
+    #[test]
+    fn charge_session_reaches_targets_in_order() {
+        let mut m = pack(0.0);
+        let mut rt = SdbRuntime::new(2);
+        rt.set_update_period(30.0);
+        let times = run_charge_session(&mut m, &mut rt, 30.0, &[0.2, 0.5, 0.8], 8.0 * 3600.0, 30.0);
+        assert!(times.iter().all(Option::is_some), "{times:?}");
+        assert!(times[0].unwrap() < times[1].unwrap());
+        assert!(times[1].unwrap() < times[2].unwrap());
+    }
+
+    #[test]
+    fn charge_session_times_out_gracefully() {
+        let mut m = pack(0.0);
+        let mut rt = SdbRuntime::new(2);
+        // 1 W external cannot reach 80 % in one simulated hour.
+        let times = run_charge_session(&mut m, &mut rt, 1.0, &[0.8], 3600.0, 60.0);
+        assert_eq!(times, vec![None]);
+    }
+}

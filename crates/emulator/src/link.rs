@@ -1,0 +1,273 @@
+//! The OS ↔ microcontroller transport.
+//!
+//! The paper's prototype uses "a Bluetooth wireless connection to interface
+//! between the microcontroller and the SDB runtime in the OS" (Section
+//! 4.1); production hardware would use the power-management serial bus.
+//! Either way the four APIs cross a message boundary that can delay or
+//! drop commands. This module models that boundary deterministically so
+//! failure-injection tests can exercise the runtime's robustness.
+
+use crate::micro::Microcontroller;
+use sdb_battery_model::thevenin::TheveninCell;
+use sdb_fuel_gauge::gauge::BatteryStatus;
+use sdb_power_electronics::error::PowerError;
+use std::collections::VecDeque;
+
+/// A command sent from the OS runtime to the microcontroller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `Charge(c1, ..., cN)`.
+    Charge(Vec<f64>),
+    /// `Discharge(d1, ..., dN)`.
+    Discharge(Vec<f64>),
+    /// `ChargeOneFromAnother(X, Y, W, T)`.
+    ChargeOneFromAnother {
+        /// Source battery index.
+        from: usize,
+        /// Destination battery index.
+        to: usize,
+        /// Transfer power, watts.
+        power_w: f64,
+        /// Transfer duration, seconds.
+        duration_s: f64,
+    },
+    /// `QueryBatteryStatus()`.
+    QueryBatteryStatus,
+}
+
+/// A response from the microcontroller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Command accepted.
+    Ack,
+    /// Command rejected by the firmware.
+    Nack(String),
+    /// Status rows for `QueryBatteryStatus`.
+    Status(Vec<BatteryStatus>),
+}
+
+/// Link traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Commands accepted into the queue.
+    pub sent: u64,
+    /// Commands delivered to the firmware.
+    pub delivered: u64,
+    /// Commands dropped in transit.
+    pub dropped: u64,
+}
+
+/// A lossy, delaying link wrapping the microcontroller.
+#[derive(Debug)]
+pub struct Link {
+    micro: Microcontroller,
+    /// Commands in flight: `(remaining delay steps, command)`.
+    in_flight: VecDeque<(u32, Command)>,
+    /// Fixed delivery latency in ticks.
+    latency_ticks: u32,
+    /// Drop one command in every `drop_period` (0 = lossless).
+    drop_period: u32,
+    counter: u64,
+    stats: LinkStats,
+    /// Responses produced by delivered commands, in order.
+    responses: VecDeque<Response>,
+}
+
+impl Link {
+    /// Wraps a microcontroller in a lossless zero-latency link.
+    #[must_use]
+    pub fn ideal(micro: Microcontroller) -> Self {
+        Self::new(micro, 0, 0)
+    }
+
+    /// Wraps a microcontroller with `latency_ticks` delivery delay and a
+    /// deterministic drop of every `drop_period`-th command (0 = lossless).
+    #[must_use]
+    pub fn new(micro: Microcontroller, latency_ticks: u32, drop_period: u32) -> Self {
+        Self {
+            micro,
+            in_flight: VecDeque::new(),
+            latency_ticks,
+            drop_period,
+            counter: 0,
+            stats: LinkStats::default(),
+            responses: VecDeque::new(),
+        }
+    }
+
+    /// Sends a command; it is delivered after the configured latency,
+    /// unless it falls on a drop slot.
+    pub fn send(&mut self, cmd: Command) {
+        self.counter += 1;
+        self.stats.sent += 1;
+        if self.drop_period > 0 && self.counter.is_multiple_of(u64::from(self.drop_period)) {
+            self.stats.dropped += 1;
+            return;
+        }
+        self.in_flight.push_back((self.latency_ticks, cmd));
+    }
+
+    /// Advances the emulation one step, delivering due commands first.
+    pub fn step(&mut self, load_w: f64, external_w: f64, dt_s: f64) -> crate::micro::StepReport {
+        // Deliver everything whose delay has elapsed (in order).
+        while let Some((delay, _)) = self.in_flight.front() {
+            if *delay == 0 {
+                let (_, cmd) = self.in_flight.pop_front().expect("checked front");
+                let resp = self.apply(cmd);
+                self.responses.push_back(resp);
+                self.stats.delivered += 1;
+            } else {
+                break;
+            }
+        }
+        for entry in &mut self.in_flight {
+            entry.0 = entry.0.saturating_sub(1);
+        }
+        self.micro.step(load_w, external_w, dt_s)
+    }
+
+    fn apply(&mut self, cmd: Command) -> Response {
+        let to_resp = |r: Result<(), PowerError>| match r {
+            Ok(()) => Response::Ack,
+            Err(e) => Response::Nack(e.to_string()),
+        };
+        match cmd {
+            Command::Charge(ratios) => to_resp(self.micro.set_charge_ratios(&ratios)),
+            Command::Discharge(ratios) => to_resp(self.micro.set_discharge_ratios(&ratios)),
+            Command::ChargeOneFromAnother {
+                from,
+                to,
+                power_w,
+                duration_s,
+            } => to_resp(
+                self.micro
+                    .charge_one_from_another(from, to, power_w, duration_s),
+            ),
+            Command::QueryBatteryStatus => Response::Status(self.micro.query_battery_status()),
+        }
+    }
+
+    /// Drains pending responses.
+    pub fn take_responses(&mut self) -> Vec<Response> {
+        self.responses.drain(..).collect()
+    }
+
+    /// Traffic statistics.
+    #[must_use]
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// The wrapped microcontroller (ground truth for scenario metrics).
+    #[must_use]
+    pub fn micro(&self) -> &Microcontroller {
+        &self.micro
+    }
+
+    /// Mutable access for scenario setup.
+    pub fn micro_mut(&mut self) -> &mut Microcontroller {
+        &mut self.micro
+    }
+
+    /// Convenience: ground-truth cells.
+    #[must_use]
+    pub fn cells(&self) -> &[TheveninCell] {
+        self.micro.cells()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::PackBuilder;
+    use sdb_battery_model::chemistry::Chemistry;
+    use sdb_battery_model::spec::BatterySpec;
+
+    fn pack() -> Microcontroller {
+        PackBuilder::new()
+            .battery(BatterySpec::from_chemistry(
+                "a",
+                Chemistry::Type2CoStandard,
+                2.0,
+            ))
+            .battery(BatterySpec::from_chemistry(
+                "b",
+                Chemistry::Type3CoPower,
+                2.0,
+            ))
+            .build()
+    }
+
+    #[test]
+    fn ideal_link_applies_immediately() {
+        let mut link = Link::ideal(pack());
+        link.send(Command::Discharge(vec![1.0, 0.0]));
+        link.step(3.0, 0.0, 60.0);
+        assert!(link.cells()[1].is_full());
+        assert!(link.cells()[0].soc() < 1.0);
+        assert_eq!(link.take_responses(), vec![Response::Ack]);
+    }
+
+    #[test]
+    fn latency_delays_application() {
+        let mut link = Link::new(pack(), 2, 0);
+        link.send(Command::Discharge(vec![1.0, 0.0]));
+        // For two steps the default 50/50 split still applies.
+        link.step(3.0, 0.0, 60.0);
+        link.step(3.0, 0.0, 60.0);
+        assert!(link.cells()[1].soc() < 1.0, "default split still active");
+        let soc1_before = link.cells()[1].soc();
+        link.step(3.0, 0.0, 60.0);
+        link.step(3.0, 0.0, 60.0);
+        // After delivery battery 1 is no longer discharged (only
+        // negligible self-discharge while idle).
+        assert!((link.cells()[1].soc() - soc1_before).abs() < 1e-5);
+    }
+
+    #[test]
+    fn drops_lose_commands_deterministically() {
+        let mut link = Link::new(pack(), 0, 2);
+        link.send(Command::QueryBatteryStatus); // 1st: kept
+        link.send(Command::QueryBatteryStatus); // 2nd: dropped
+        link.send(Command::QueryBatteryStatus); // 3rd: kept
+        link.step(0.1, 0.0, 1.0);
+        let stats = link.stats();
+        assert_eq!(stats.sent, 3);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(link.take_responses().len(), 2);
+    }
+
+    #[test]
+    fn nack_on_bad_command() {
+        let mut link = Link::ideal(pack());
+        link.send(Command::Discharge(vec![0.9, 0.9]));
+        link.step(0.1, 0.0, 1.0);
+        match &link.take_responses()[0] {
+            Response::Nack(msg) => assert!(msg.contains("sum")),
+            other => panic!("expected Nack, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_returns_status_rows() {
+        let mut link = Link::ideal(pack());
+        link.send(Command::QueryBatteryStatus);
+        link.step(0.1, 0.0, 1.0);
+        match &link.take_responses()[0] {
+            Response::Status(rows) => assert_eq!(rows.len(), 2),
+            other => panic!("expected Status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn commands_apply_in_order() {
+        let mut link = Link::ideal(pack());
+        link.send(Command::Discharge(vec![1.0, 0.0]));
+        link.send(Command::Discharge(vec![0.0, 1.0]));
+        link.step(3.0, 0.0, 60.0);
+        // Last command wins: battery 1 discharges.
+        assert!(link.cells()[0].is_full());
+        assert!(link.cells()[1].soc() < 1.0);
+    }
+}

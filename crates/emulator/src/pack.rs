@@ -1,0 +1,178 @@
+//! Heterogeneous battery pack assembly.
+//!
+//! A pack combines N cells of arbitrary chemistries with the SDB charging
+//! and discharging circuits and one fuel gauge per cell (Section 6: fuel
+//! gauges built for homogeneous multi-cell packs "do not work when the
+//! batteries are heterogeneous", so SDB uses separate gauges).
+
+use crate::micro::Microcontroller;
+use crate::profile::ProfileKind;
+use sdb_battery_model::spec::BatterySpec;
+use sdb_fuel_gauge::gauge::GaugeConfig;
+use sdb_power_electronics::circuits::{ChargeTopology, DischargeTopology};
+
+/// One battery slot in the pack.
+#[derive(Debug, Clone)]
+pub struct SlotConfig {
+    /// The cell in this slot.
+    pub spec: BatterySpec,
+    /// Initial state of charge.
+    pub initial_soc: f64,
+    /// Initially selected charging profile.
+    pub profile: ProfileKind,
+}
+
+/// Full pack configuration.
+#[derive(Debug, Clone)]
+pub struct PackConfig {
+    /// Battery slots.
+    pub slots: Vec<SlotConfig>,
+    /// Discharge circuit topology.
+    pub discharge_topology: DischargeTopology,
+    /// Charge circuit topology.
+    pub charge_topology: ChargeTopology,
+    /// Fuel-gauge configuration shared by all slots.
+    pub gauge: GaugeConfig,
+    /// Ambient temperature, °C: when set, every cell gets a lumped thermal
+    /// model and temperature-dependent resistance.
+    pub ambient_c: Option<f64>,
+}
+
+/// Builder for a [`Microcontroller`]-managed pack.
+#[derive(Debug, Clone)]
+pub struct PackBuilder {
+    slots: Vec<SlotConfig>,
+    discharge_topology: DischargeTopology,
+    charge_topology: ChargeTopology,
+    gauge: GaugeConfig,
+    ambient_c: Option<f64>,
+}
+
+impl PackBuilder {
+    /// Starts an empty pack with the SDB (integrated/reversible)
+    /// topologies.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            discharge_topology: DischargeTopology::SdbIntegrated,
+            charge_topology: ChargeTopology::SdbReversible,
+            gauge: GaugeConfig::default(),
+            ambient_c: None,
+        }
+    }
+
+    /// Enables thermal simulation: every cell gets a lumped thermal model
+    /// at this ambient temperature, and its resistance follows the
+    /// Arrhenius temperature dependence.
+    #[must_use]
+    pub fn ambient_c(mut self, ambient_c: f64) -> Self {
+        self.ambient_c = Some(ambient_c);
+        self
+    }
+
+    /// Adds a battery at full charge with the standard profile.
+    #[must_use]
+    pub fn battery(self, spec: BatterySpec) -> Self {
+        self.battery_at(spec, 1.0, ProfileKind::Standard)
+    }
+
+    /// Adds a battery at a given SoC with a given profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial_soc` is outside `[0, 1]`.
+    #[must_use]
+    pub fn battery_at(mut self, spec: BatterySpec, initial_soc: f64, profile: ProfileKind) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&initial_soc),
+            "soc out of range: {initial_soc}"
+        );
+        self.slots.push(SlotConfig {
+            spec,
+            initial_soc,
+            profile,
+        });
+        self
+    }
+
+    /// Uses the naive circuit topologies (for ablation benches).
+    #[must_use]
+    pub fn naive_topologies(mut self) -> Self {
+        self.discharge_topology = DischargeTopology::NaiveSwitch;
+        self.charge_topology = ChargeTopology::NaiveMatrix;
+        self
+    }
+
+    /// Overrides the gauge configuration.
+    #[must_use]
+    pub fn gauge(mut self, gauge: GaugeConfig) -> Self {
+        self.gauge = gauge;
+        self
+    }
+
+    /// Builds the microcontroller-managed pack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no batteries were added.
+    #[must_use]
+    pub fn build(self) -> Microcontroller {
+        assert!(!self.slots.is_empty(), "a pack needs at least one battery");
+        Microcontroller::new(PackConfig {
+            slots: self.slots,
+            discharge_topology: self.discharge_topology,
+            charge_topology: self.charge_topology,
+            gauge: self.gauge,
+            ambient_c: self.ambient_c,
+        })
+    }
+}
+
+impl Default for PackBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdb_battery_model::chemistry::Chemistry;
+
+    #[test]
+    fn builder_assembles_pack() {
+        let micro = PackBuilder::new()
+            .battery(BatterySpec::from_chemistry(
+                "a",
+                Chemistry::Type2CoStandard,
+                2.0,
+            ))
+            .battery_at(
+                BatterySpec::from_chemistry("b", Chemistry::Type3CoPower, 2.0),
+                0.5,
+                ProfileKind::Fast,
+            )
+            .build();
+        assert_eq!(micro.battery_count(), 2);
+        let status = micro.query_battery_status();
+        assert!((status[0].soc - 1.0).abs() < 1e-9);
+        assert!((status[1].soc - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one battery")]
+    fn empty_pack_rejected() {
+        let _ = PackBuilder::new().build();
+    }
+
+    #[test]
+    #[should_panic(expected = "soc out of range")]
+    fn bad_soc_rejected() {
+        let _ = PackBuilder::new().battery_at(
+            BatterySpec::from_chemistry("a", Chemistry::Type2CoStandard, 2.0),
+            1.5,
+            ProfileKind::Standard,
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Error types for the power-electronics crate.
+
+use std::fmt;
+
+/// Errors raised by circuit models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A share/ratio vector did not sum to 1 (within tolerance) or had a
+    /// negative entry.
+    InvalidRatios {
+        /// The offending sum.
+        sum: f64,
+    },
+    /// A ratio vector length did not match the circuit's channel count.
+    WrongChannelCount {
+        /// Expected number of channels.
+        expected: usize,
+        /// Provided number of ratios.
+        got: usize,
+    },
+    /// A physical parameter (voltage, current, power) was non-finite or out
+    /// of the model's validity range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The requested operating point exceeds the circuit's rating.
+    OverRating {
+        /// The requested value.
+        requested: f64,
+        /// The rating.
+        rating: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidRatios { sum } => {
+                write!(f, "ratios must be non-negative and sum to 1, got sum {sum}")
+            }
+            Self::WrongChannelCount { expected, got } => {
+                write!(f, "expected {expected} channel ratios, got {got}")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+            Self::OverRating { requested, rating } => {
+                write!(f, "requested {requested} exceeds rating {rating}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+/// Validates that `ratios` are non-negative and sum to 1 within `1e-6`.
+///
+/// # Errors
+///
+/// [`PowerError::InvalidRatios`] on violation.
+pub fn check_ratios(ratios: &[f64]) -> Result<(), PowerError> {
+    let mut sum = 0.0;
+    for &r in ratios {
+        if !r.is_finite() || r < 0.0 {
+            return Err(PowerError::InvalidRatios { sum: r });
+        }
+        sum += r;
+    }
+    if (sum - 1.0).abs() > 1e-6 {
+        return Err(PowerError::InvalidRatios { sum });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_ratios() {
+        check_ratios(&[0.25, 0.75]).unwrap();
+        check_ratios(&[1.0]).unwrap();
+        check_ratios(&[0.2, 0.3, 0.5]).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_sums_and_negatives() {
+        assert!(check_ratios(&[0.5, 0.6]).is_err());
+        assert!(check_ratios(&[-0.1, 1.1]).is_err());
+        assert!(check_ratios(&[f64::NAN, 1.0]).is_err());
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = PowerError::WrongChannelCount {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains("expected 2"));
+    }
+}

@@ -1,0 +1,108 @@
+//! The Section 8 future-work direction: an EV NAV system hands the SDB
+//! Runtime a route hint, and the runtime compiles it into a directive
+//! schedule — preserving the efficient pack for the hill it knows is
+//! coming.
+//!
+//! ```text
+//! cargo run --release --example ev_route
+//! ```
+
+use sdb::battery_model::{BatterySpec, Chemistry};
+use sdb::core::hints::{entry_at, RouteHint};
+use sdb::core::policy::PolicyInput;
+use sdb::core::runtime::SdbRuntime;
+use sdb::emulator::PackBuilder;
+
+fn main() {
+    // A small EV-ish pack scaled down to simulator-friendly numbers: an
+    // efficient NMC pack plus a high-power LFP buffer.
+    let mut micro = PackBuilder::new()
+        .battery(BatterySpec::from_chemistry(
+            "NMC main",
+            Chemistry::OtherNmc,
+            40.0,
+        ))
+        .battery(BatterySpec::from_chemistry(
+            "LFP buffer",
+            Chemistry::Type1LfpPower,
+            20.0,
+        ))
+        .build();
+
+    // The NAV's route: city driving, a long steep climb, then highway.
+    let mut route = RouteHint::new();
+    route.push(1200.0, 25.0, 40.0); // city
+    route.push(900.0, 90.0, 140.0); // climb
+    route.push(1800.0, 45.0, 60.0); // highway
+    let schedule = route.compile(0, 1, 100.0);
+
+    println!(
+        "route hint compiled into {} schedule entries:",
+        schedule.len()
+    );
+    for e in &schedule {
+        println!(
+            "  from {:>5.0} s: directive {:.1}, preserve = {}",
+            e.from_s,
+            e.directive.value(),
+            e.preserve.is_some()
+        );
+    }
+
+    // Drive the route, switching directives per the schedule.
+    let mut runtime = SdbRuntime::new(2);
+    runtime.set_update_period(30.0);
+    let mut t = 0.0;
+    let dt = 30.0;
+    let mut active = usize::MAX;
+    while t < route.duration_s() {
+        if let Some(entry) = entry_at(&schedule, t) {
+            let idx = schedule
+                .iter()
+                .position(|e| e.from_s == entry.from_s)
+                .unwrap();
+            if idx != active {
+                runtime.set_discharge_directive(entry.directive);
+                runtime.set_preserve(entry.preserve);
+                active = idx;
+                println!("t = {t:>5.0} s: switched to schedule entry {idx}");
+            }
+        }
+        // Demand follows the hinted segment means.
+        let seg = route
+            .segments()
+            .iter()
+            .scan(0.0, |acc, s| {
+                let start = *acc;
+                *acc += s.dur_s;
+                Some((start, s))
+            })
+            .find(|(start, s)| t >= *start && t < start + s.dur_s)
+            .map(|(_, s)| s.expected_w)
+            .unwrap_or(0.0);
+        let input = PolicyInput::from_micro(&micro).with_load(seg);
+        runtime.tick(&mut micro, &input, dt).expect("accepted");
+        let report = micro.step(seg, 0.0, dt);
+        assert!(report.unmet_w < 1e-9, "route must be drivable");
+        t += dt;
+    }
+
+    let (delivered, circuit, heat, _, _) = micro.energy_totals_j();
+    println!("\nroute complete:");
+    println!(
+        "  delivered {:.2} kWh-equivalent ({:.0} kJ)",
+        delivered / 3.6e6,
+        delivered / 1e3
+    );
+    println!(
+        "  losses: {:.0} J circuit, {:.0} J cell heat",
+        circuit, heat
+    );
+    for (i, c) in micro.cells().iter().enumerate() {
+        println!(
+            "  battery {i} ({}) at {:.1}% SoC",
+            c.spec().name,
+            c.soc() * 100.0
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The Section 5.1 fast-charging scenario: how much of the capacity budget
+//! to give a fast-charging battery, and how the charging directive changes
+//! behavior (overnight vs pre-flight).
+//!
+//! ```text
+//! cargo run --release --example fast_charge
+//! ```
+
+use sdb::core::policy::ChargeDirective;
+use sdb::core::runtime::SdbRuntime;
+use sdb::core::scenarios::hybrid::{charge_time_curve, HybridConfig};
+use sdb::core::scheduler::run_charge_session;
+
+fn main() {
+    let configs = HybridConfig::paper_configs();
+    println!("8000 mAh budget split between high-energy and fast-charging cells:\n");
+    println!(
+        "{:<22} {:>18} {:>22} {:>22}",
+        "fast-charge share", "density (Wh/l)", "to 40% charge (min)", "capacity @1000cyc (%)"
+    );
+    for config in &configs {
+        let curve = charge_time_curve(config, 60.0);
+        println!(
+            "{:<22} {:>18.1} {:>22} {:>22.1}",
+            config.label(),
+            config.energy_density_wh_per_l(),
+            curve
+                .minutes_to(40.0)
+                .map_or_else(|| "-".to_owned(), |m| format!("{m:.1}")),
+            config.longevity_after_cycles(1000),
+        );
+    }
+
+    // The charging directive in action on the 50/50 SDB pack: an urgent
+    // pre-flight top-up (directive 1.0 → RBL-Charge) against a relaxed
+    // overnight charge (directive 0.0 → CCB-Charge).
+    // With an abundant supply both directives saturate every cell's
+    // acceptance; the difference shows on a constrained 18 W charger.
+    let sdb = configs[1];
+    println!("\ncharging the SDB pack from empty with a constrained 18 W supply:");
+    for (label, directive) in [
+        ("pre-flight (RBL-Charge)", 1.0),
+        ("overnight (CCB-Charge)", 0.0),
+    ] {
+        let mut micro = sdb.build_pack(0.0);
+        let mut runtime = SdbRuntime::new(2);
+        runtime.set_charge_directive(ChargeDirective::new(directive));
+        runtime.set_update_period(30.0);
+        let times = run_charge_session(
+            &mut micro,
+            &mut runtime,
+            18.0,
+            &[0.25, 0.50, 0.80],
+            6.0 * 3600.0,
+            15.0,
+        );
+        let fmt =
+            |t: Option<f64>| t.map_or_else(|| "-".to_owned(), |s| format!("{:.0} min", s / 60.0));
+        println!(
+            "  {label:<26} 25%: {:>8}   50%: {:>8}   80%: {:>8}",
+            fmt(times[0]),
+            fmt(times[1]),
+            fmt(times[2]),
+        );
+        let wear: Vec<f64> = micro.cells().iter().map(|c| c.wear_ratio()).collect();
+        println!("  {:<26} wear after session: {wear:?}", "");
+    }
+    println!("\nThe pre-flight directive front-loads the fast cell and wins the early");
+    println!("targets; note how CCB reaches 80% sooner — the instantaneously-optimal");
+    println!("RBL choice over-commits to the fast cell and pays in its taper, the");
+    println!("paper's point that instantaneous optimality is not global optimality.");
+}

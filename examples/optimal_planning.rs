@@ -1,0 +1,64 @@
+//! How much is future knowledge worth? The paper observes that its
+//! instantaneously-optimal policies "are not globally optimal" and that
+//! knowing the workload ahead of time would let a scheduler do better.
+//! This example makes that concrete on the watch scenario: it computes the
+//! offline-optimal discharge plan by dynamic programming and compares it
+//! with the online policies.
+//!
+//! ```text
+//! cargo run --release --example optimal_planning
+//! ```
+
+use sdb::battery_model::library;
+use sdb::core::optimal::{plan, CellParams, PlanConfig};
+use sdb::core::scenarios::watch::{watch_scenario, WatchPolicy};
+use sdb::workloads::traces::watch_day;
+
+fn main() {
+    let seed = 13;
+    let trace = watch_day(seed, Some(9.0));
+    println!(
+        "watch day: {:.1} Wh demanded over 24 h, GPS run at hour 9\n",
+        trace.load_energy_j() / 3600.0
+    );
+
+    // Online policies (no future knowledge).
+    let p1 = watch_scenario(WatchPolicy::MinimizeInstantaneousLosses, Some(9.0), seed);
+    let p2 = watch_scenario(WatchPolicy::PreserveLiIon, Some(9.0), seed);
+    let oracle = watch_scenario(WatchPolicy::Oracle, Some(9.0), seed);
+
+    // The offline DP plan.
+    let cells = [
+        CellParams::from_spec(library::watch_li_ion().spec()),
+        CellParams::from_spec(library::watch_bendable().spec()),
+    ];
+    let result = plan(&cells, &trace, &PlanConfig::default());
+
+    println!("{:<44} {:>12}", "scheduler", "battery life");
+    for (label, life) in [
+        (p1.policy.label(), p1.life_s),
+        (p2.policy.label(), p2.life_s),
+        (oracle.policy.label(), oracle.life_s),
+        ("DP plan (offline optimum)", result.life_s),
+    ] {
+        println!("{:<44} {:>9.1} h", label, life / 3600.0);
+    }
+
+    // What does the optimal schedule look like? Show the Li-ion share it
+    // chooses per hour (mean over the hour's segments).
+    let seg_per_h = (3600.0 / PlanConfig::default().segment_s) as usize;
+    println!("\noptimal Li-ion share by hour (while alive):");
+    for h in 0..(result.schedule.len() / seg_per_h) {
+        let mean: f64 = result.schedule[h * seg_per_h..(h + 1) * seg_per_h]
+            .iter()
+            .sum::<f64>()
+            / seg_per_h as f64;
+        let bar = "#".repeat((mean * 30.0).round() as usize);
+        println!("  hour {h:>2}: {mean:4.2} {bar}");
+    }
+    println!(
+        "\nThe plan starves the efficient Li-ion cell through the morning, spends\n\
+         it on the run at hour 9, and splits loss-optimally afterwards — the\n\
+         strategy the paper's preserve heuristic approximates."
+    );
+}

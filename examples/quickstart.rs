@@ -1,0 +1,84 @@
+//! Quickstart: build a heterogeneous pack, let the SDB Runtime schedule
+//! it, and inspect what the four paper APIs expose.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use sdb::battery_model::{BatterySpec, Chemistry};
+use sdb::core::metrics::{ccb, rbl_wh, wear_ratios};
+use sdb::core::policy::{DischargeDirective, PolicyInput};
+use sdb::core::runtime::SdbRuntime;
+use sdb::core::scheduler::{run_trace, SimOptions};
+use sdb::emulator::PackBuilder;
+use sdb::workloads::Trace;
+
+fn main() {
+    // 1. A hybrid pack: a high-energy cell plus a fast/high-power cell.
+    let mut pack = PackBuilder::new()
+        .battery(BatterySpec::from_chemistry(
+            "high-energy (Type 2)",
+            Chemistry::Type2CoStandard,
+            3.0,
+        ))
+        .battery(BatterySpec::from_chemistry(
+            "high-power (Type 3)",
+            Chemistry::Type3CoPower,
+            1.5,
+        ))
+        .build();
+
+    // 2. The runtime: directive 0.9 = lean strongly toward maximizing
+    //    instantaneous battery life (RBL) over wear balancing (CCB).
+    let mut runtime = SdbRuntime::new(2);
+    runtime.set_discharge_directive(DischargeDirective::new(0.9));
+
+    // 3. Run a one-hour 6 W workload.
+    let result = run_trace(
+        &mut pack,
+        &mut runtime,
+        &Trace::constant(6.0, 3600.0),
+        &SimOptions::default(),
+    );
+
+    println!("== after one hour at 6 W ==");
+    println!("delivered:      {:9.1} kJ", result.supplied_j / 1e3);
+    println!("circuit losses: {:9.1} J", result.circuit_loss_j);
+    println!("cell heat:      {:9.1} J", result.cell_heat_j);
+    println!("unserved:       {:9.1} J", result.unmet_j);
+    println!("ratio pushes:   {:9}", runtime.pushes());
+
+    // 4. QueryBatteryStatus() — what the OS sees.
+    println!("\n== QueryBatteryStatus() ==");
+    for (i, s) in pack.query_battery_status().iter().enumerate() {
+        println!(
+            "battery {i}: soc {:5.1}%  terminal {:.3} V  cycles {}  remaining {:.2} Ah",
+            s.soc * 100.0,
+            s.terminal_v,
+            s.cycle_count,
+            s.remaining_ah
+        );
+    }
+
+    // 5. The policy metrics.
+    let cells = pack.cells();
+    let specs: Vec<&BatterySpec> = cells.iter().map(|c| c.spec()).collect();
+    let socs: Vec<f64> = cells.iter().map(|c| c.soc()).collect();
+    let cycles: Vec<u32> = cells.iter().map(|c| c.cycle_count()).collect();
+    let wear = wear_ratios(&cycles, &specs);
+    println!("\n== policy metrics ==");
+    println!("wear ratios λ: {wear:?}");
+    println!("CCB:           {:.3}", ccb(&wear));
+    println!(
+        "RBL:           {:.2} Wh of useful charge",
+        rbl_wh(&socs, &specs, 6.0)
+    );
+
+    // 6. What the current snapshot looks like to the policies.
+    let input = PolicyInput::from_micro(&pack).with_load(6.0);
+    let ratios = runtime
+        .discharge_directive()
+        .ratios(&input)
+        .expect("feasible");
+    println!("\nnext discharge split the policy would choose: {ratios:?}");
+}

@@ -1,0 +1,78 @@
+//! The Section 5.2 smart-watch scenario: a rigid Li-ion cell in the body
+//! plus a bendable cell in the strap, with the OS choosing when to spend
+//! which — including a usage predictor that learns the user's running
+//! schedule and sets the policy automatically.
+//!
+//! ```text
+//! cargo run --release --example smart_watch
+//! ```
+
+use sdb::core::predict::UsagePredictor;
+use sdb::core::scenarios::watch::{high_power_threshold_w, watch_scenario, WatchPolicy};
+use sdb::workloads::traces::watch_day;
+
+fn main() {
+    let seed = 13;
+    let run_hour = 9.0;
+
+    println!("pack: 200 mAh Li-ion (body) + 200 mAh bendable (strap)");
+    println!("day:  message checking, {run_hour}h: one-hour GPS run\n");
+
+    // The two fixed policies of Figure 13.
+    let p1 = watch_scenario(
+        WatchPolicy::MinimizeInstantaneousLosses,
+        Some(run_hour),
+        seed,
+    );
+    let p2 = watch_scenario(WatchPolicy::PreserveLiIon, Some(run_hour), seed);
+
+    for o in [&p1, &p2] {
+        println!("{}:", o.policy.label());
+        println!("  battery life:    {:.1} h", o.life_s / 3600.0);
+        if let Some(t) = o.li_ion_empty_s {
+            println!("  Li-ion empty:    hour {:.1}", t / 3600.0);
+        }
+        if let Some(t) = o.bendable_empty_s {
+            println!("  bendable empty:  hour {:.1}", t / 3600.0);
+        }
+        println!("  total losses:    {:.0} J\n", o.total_loss_j);
+    }
+    println!(
+        "preserving the Li-ion for the run bought {:+.1} h of battery life\n",
+        (p2.life_s - p1.life_s) / 3600.0
+    );
+
+    // Now let the predictor decide: it learns the daily pattern, then maps
+    // the upcoming-run prediction to the preserve policy.
+    let mut predictor = UsagePredictor::new();
+    for day in 0..5 {
+        let trace = watch_day(seed + day, Some(run_hour));
+        let hourly: Vec<f64> = (0..24)
+            .map(|h| {
+                trace.points()[h * 60..(h + 1) * 60]
+                    .iter()
+                    .map(|p| p.load_w)
+                    .sum::<f64>()
+                    / 60.0
+            })
+            .collect();
+        predictor.observe_day(&hourly);
+    }
+    let threshold = high_power_threshold_w();
+    let morning_directive = predictor.discharge_directive(7, threshold);
+    let policy = if morning_directive < 0.5 {
+        WatchPolicy::PreserveLiIon
+    } else {
+        WatchPolicy::MinimizeInstantaneousLosses
+    };
+    println!(
+        "predictor after 5 days: run expected near hour {run_hour} → morning directive {morning_directive:.2} → {}",
+        policy.label()
+    );
+    let auto = watch_scenario(policy, Some(run_hour), seed);
+    println!(
+        "auto-selected policy battery life: {:.1} h (fixed policy 1 gave {:.1} h)",
+        auto.life_s / 3600.0,
+        p1.life_s / 3600.0
+    );
+}

@@ -1,0 +1,381 @@
+//! `sdb` — command-line driver for the SDB simulation stack.
+//!
+//! ```text
+//! sdb packs                                  list built-in packs
+//! sdb traces                                 list built-in traces
+//! sdb sim    --pack watch --trace watch-day [--policy preserve|rbl|ccb|blend:<v>] [--seed N]
+//! sdb sim    --pack phone --trace-file captured.csv   (CSV: dur_s,load_w[,external_w])
+//! sdb charge --pack tablet-hybrid --watts 45 [--directive <0..1>] [--target <pct>]
+//! sdb status --pack phone [--soc <0..1>]     show QueryBatteryStatus + ACPI view
+//! ```
+
+use sdb::battery_model::{library, BatterySpec, Chemistry};
+use sdb::core::policy::{ChargeDirective, DischargeDirective, PreservePolicy};
+use sdb::core::runtime::SdbRuntime;
+use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
+use sdb::emulator::{acpi, Microcontroller, PackBuilder, ProfileKind};
+use sdb::workloads::traces::{phone_day, tablet_session, watch_day, Trace};
+use sdb::workloads::Activity;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+const PACKS: &[(&str, &str)] = &[
+    (
+        "watch",
+        "200 mAh Li-ion + 200 mAh bendable strap (paper §5.2)",
+    ),
+    (
+        "tablet-hybrid",
+        "4 Ah high-energy + 4 Ah fast-charge (paper §5.1)",
+    ),
+    (
+        "two-in-one",
+        "2 × 4 Ah Li-ion, internal + keyboard (paper §5.3)",
+    ),
+    ("phone", "3 Ah high-energy + 1 Ah high-power"),
+];
+
+const TRACES: &[(&str, &str)] = &[
+    (
+        "watch-day",
+        "24 h watch day with an hour-9 GPS run (Figure 13)",
+    ),
+    ("watch-day-norun", "the same day without the run"),
+    (
+        "phone-day",
+        "24 h smartphone day (commute navigation, streaming)",
+    ),
+    (
+        "tablet-mixed",
+        "4 h tablet session mixing network and compute",
+    ),
+];
+
+/// Pipe-safe print: `println!` panics on `EPIPE`, but CLI output is
+/// routinely piped into `head`/`grep` — treat a closed pipe as a normal
+/// early exit.
+fn emit(text: &str) {
+    use std::io::{ErrorKind, Write};
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = lock.write_all(text.as_bytes()) {
+        if e.kind() == ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("write error: {e}");
+        std::process::exit(1);
+    }
+    let _ = lock.flush();
+}
+
+fn build_pack(name: &str, soc: f64) -> Option<Microcontroller> {
+    let pack = match name {
+        "watch" => PackBuilder::new()
+            .battery_at(
+                library::watch_li_ion().spec().clone(),
+                soc,
+                ProfileKind::Standard,
+            )
+            .battery_at(
+                library::watch_bendable().spec().clone(),
+                soc,
+                ProfileKind::Gentle,
+            )
+            .build(),
+        "tablet-hybrid" => PackBuilder::new()
+            .battery_at(
+                BatterySpec::from_chemistry("high-energy", Chemistry::Type2CoStandard, 4.0),
+                soc,
+                ProfileKind::Standard,
+            )
+            .battery_at(
+                BatterySpec::from_chemistry("fast-charge", Chemistry::Type3CoPower, 4.0),
+                soc,
+                ProfileKind::Fast,
+            )
+            .build(),
+        "two-in-one" => PackBuilder::new()
+            .battery_at(
+                BatterySpec::from_chemistry("internal", Chemistry::Type2CoStandard, 4.0),
+                soc,
+                ProfileKind::Standard,
+            )
+            .battery_at(
+                BatterySpec::from_chemistry("external", Chemistry::Type2CoStandard, 4.0),
+                soc,
+                ProfileKind::Standard,
+            )
+            .build(),
+        "phone" => PackBuilder::new()
+            .battery_at(
+                BatterySpec::from_chemistry("high-energy", Chemistry::Type2CoStandard, 3.0),
+                soc,
+                ProfileKind::Standard,
+            )
+            .battery_at(
+                BatterySpec::from_chemistry("high-power", Chemistry::Type3CoPower, 1.0),
+                soc,
+                ProfileKind::Fast,
+            )
+            .build(),
+        _ => return None,
+    };
+    Some(pack)
+}
+
+fn build_trace(name: &str, seed: u64) -> Option<Trace> {
+    match name {
+        "watch-day" => Some(watch_day(seed, Some(9.0))),
+        "watch-day-norun" => Some(watch_day(seed, None)),
+        "phone-day" => Some(phone_day(seed)),
+        "tablet-mixed" => Some(tablet_session(
+            seed,
+            &[Activity::Network, Activity::Compute, Activity::Interactive],
+            300.0,
+            4.0 * 3600.0,
+        )),
+        _ => None,
+    }
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(key.to_owned(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn cmd_sim(flags: &HashMap<String, String>) -> ExitCode {
+    let pack_name = flags.get("pack").map(String::as_str).unwrap_or("watch");
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(13);
+    let Some(mut micro) = build_pack(pack_name, 1.0) else {
+        eprintln!("unknown pack `{pack_name}` (try `sdb packs`)");
+        return ExitCode::FAILURE;
+    };
+    let (trace, trace_name) = if let Some(path) = flags.get("trace-file") {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Trace::from_csv(&text))
+        {
+            Ok(t) => (t, path.clone()),
+            Err(e) => {
+                eprintln!("cannot load trace file `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        let trace_name = flags
+            .get("trace")
+            .map(String::as_str)
+            .unwrap_or("watch-day");
+        match build_trace(trace_name, seed) {
+            Some(t) => (t, trace_name.to_owned()),
+            None => {
+                eprintln!("unknown trace `{trace_name}` (try `sdb traces`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    let mut runtime = SdbRuntime::new(micro.battery_count());
+    match flags.get("policy").map(String::as_str).unwrap_or("rbl") {
+        "preserve" => runtime.set_preserve(Some(PreservePolicy::new(0, 1, 0.3))),
+        "rbl" => runtime.set_discharge_directive(DischargeDirective::new(1.0)),
+        "ccb" => runtime.set_discharge_directive(DischargeDirective::new(0.0)),
+        other => {
+            if let Some(v) = other
+                .strip_prefix("blend:")
+                .and_then(|v| v.parse::<f64>().ok())
+            {
+                runtime.set_discharge_directive(DischargeDirective::new(v));
+            } else {
+                eprintln!("unknown policy `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let result = run_trace(&mut micro, &mut runtime, &trace, &SimOptions::default());
+    let mut out = String::new();
+    let _ = writeln!(out, "pack:          {pack_name}");
+    let _ = writeln!(
+        out,
+        "trace:         {trace_name} ({:.1} h, mean {:.2} W)",
+        trace.duration_s() / 3600.0,
+        trace.mean_load_w()
+    );
+    let _ = writeln!(
+        out,
+        "battery life:  {:.2} h",
+        result.battery_life_s() / 3600.0
+    );
+    let _ = writeln!(out, "delivered:     {:.1} kJ", result.supplied_j / 1e3);
+    let _ = writeln!(
+        out,
+        "losses:        {:.1} J ({:.2}% of delivered)",
+        result.total_loss_j(),
+        result.total_loss_j() / result.supplied_j * 100.0
+    );
+    let _ = writeln!(out, "unserved:      {:.1} J", result.unmet_j);
+    for (i, (t, cell)) in result.battery_empty_s.iter().zip(micro.cells()).enumerate() {
+        match t {
+            Some(s) => {
+                let _ = writeln!(
+                    out,
+                    "battery {i} ({}): empty at {:.1} h",
+                    cell.spec().name,
+                    s / 3600.0
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "battery {i} ({}): {:.1}% left",
+                    cell.spec().name,
+                    cell.soc() * 100.0
+                );
+            }
+        }
+    }
+    emit(&out);
+    ExitCode::SUCCESS
+}
+
+fn cmd_charge(flags: &HashMap<String, String>) -> ExitCode {
+    let pack_name = flags
+        .get("pack")
+        .map(String::as_str)
+        .unwrap_or("tablet-hybrid");
+    let watts: f64 = flags
+        .get("watts")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(45.0);
+    let directive: f64 = flags
+        .get("directive")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let target: f64 = flags
+        .get("target")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(80.0);
+    let Some(mut micro) = build_pack(pack_name, 0.0) else {
+        eprintln!("unknown pack `{pack_name}` (try `sdb packs`)");
+        return ExitCode::FAILURE;
+    };
+    let mut runtime = SdbRuntime::new(micro.battery_count());
+    runtime.set_charge_directive(ChargeDirective::new(directive));
+    runtime.set_update_period(30.0);
+    let targets: Vec<f64> = (1..=((target / 5.0) as usize))
+        .map(|k| k as f64 * 0.05)
+        .collect();
+    let times = run_charge_session(
+        &mut micro,
+        &mut runtime,
+        watts,
+        &targets,
+        12.0 * 3600.0,
+        15.0,
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pack: {pack_name}, supply: {watts} W, charge directive: {directive}"
+    );
+    let _ = writeln!(out, "{:>9}  {:>10}", "% charged", "minutes");
+    for (t, time) in targets.iter().zip(&times) {
+        match time {
+            Some(s) => {
+                let _ = writeln!(out, "{:>9.0}  {:>10.1}", t * 100.0, s / 60.0);
+            }
+            None => {
+                let _ = writeln!(out, "{:>9.0}  {:>10}", t * 100.0, "-");
+            }
+        }
+    }
+    emit(&out);
+    ExitCode::SUCCESS
+}
+
+fn cmd_status(flags: &HashMap<String, String>) -> ExitCode {
+    let pack_name = flags.get("pack").map(String::as_str).unwrap_or("phone");
+    let soc: f64 = flags.get("soc").and_then(|s| s.parse().ok()).unwrap_or(0.8);
+    let Some(micro) = build_pack(pack_name, soc.clamp(0.0, 1.0)) else {
+        eprintln!("unknown pack `{pack_name}` (try `sdb packs`)");
+        return ExitCode::FAILURE;
+    };
+    let mut out = String::from("QueryBatteryStatus():\n");
+    for (i, s) in micro.query_battery_status().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  battery {i} ({}): soc {:5.1}%  {:.3} V  {} cycles  {:.2} Ah left{}",
+            micro.cells()[i].spec().name,
+            s.soc * 100.0,
+            s.terminal_v,
+            s.cycle_count,
+            s.remaining_ah,
+            if s.present { "" } else { "  [absent]" },
+        );
+    }
+    let info = acpi::report(&micro);
+    let _ = writeln!(out, "\nLegacy ACPI view (single logical battery):");
+    let _ = writeln!(
+        out,
+        "  design capacity:    {:.0} mWh",
+        info.design_capacity_mwh
+    );
+    let _ = writeln!(
+        out,
+        "  last full capacity: {:.0} mWh",
+        info.last_full_capacity_mwh
+    );
+    let _ = writeln!(
+        out,
+        "  remaining:          {:.0} mWh ({:.1}%)",
+        info.remaining_capacity_mwh, info.percentage
+    );
+    let _ = writeln!(out, "  voltage:            {:.0} mV", info.voltage_mv);
+    let _ = writeln!(out, "  state:              {:?}", info.state);
+    emit(&out);
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args[1.min(args.len())..]);
+    match args.first().map(String::as_str) {
+        Some("packs") => {
+            let mut out = String::new();
+            for (name, desc) in PACKS {
+                let _ = writeln!(out, "  {name:<14} {desc}");
+            }
+            emit(&out);
+            ExitCode::SUCCESS
+        }
+        Some("traces") => {
+            let mut out = String::new();
+            for (name, desc) in TRACES {
+                let _ = writeln!(out, "  {name:<16} {desc}");
+            }
+            emit(&out);
+            ExitCode::SUCCESS
+        }
+        Some("sim") => cmd_sim(&flags),
+        Some("charge") => cmd_charge(&flags),
+        Some("status") => cmd_status(&flags),
+        _ => usage(),
+    }
+}

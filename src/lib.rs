@@ -1,0 +1,61 @@
+//! # Software Defined Batteries (SDB)
+//!
+//! A full reproduction of *Software Defined Batteries* (Badam et al.,
+//! SOSP 2015) as a Rust library: heterogeneous battery packs whose
+//! charging and discharging are scheduled by an OS-level runtime through
+//! four hardware APIs.
+//!
+//! The workspace is layered bottom-up; this facade re-exports every layer:
+//!
+//! * [`battery_model`] — electrochemical substrate: Thevenin cells,
+//!   chemistry library, aging, thermal models (paper §2, §4.3).
+//! * [`power_electronics`] — regulators, switching circuits, measurement
+//!   chains, and a transient buck simulator (paper §3.2).
+//! * [`fuel_gauge`] — coulomb counting and SoC estimation (paper §2.2).
+//! * [`emulator`] — the SDB "hardware": microcontroller, profiles, pack,
+//!   lossy OS link (paper §4).
+//! * [`workloads`] — device power models, the turbo CPU model, and seeded
+//!   trace generators (paper §4.3, §5).
+//! * [`core`] — the SDB Runtime: CCB/RBL metrics and policies, directive
+//!   parameters, the scheduler, and the Section 5 scenarios.
+//!
+//! ## Quickstart
+//!
+//! Build a hybrid pack, hand it to the runtime, and run a workload:
+//!
+//! ```
+//! use sdb::battery_model::{BatterySpec, Chemistry};
+//! use sdb::core::policy::DischargeDirective;
+//! use sdb::core::runtime::SdbRuntime;
+//! use sdb::core::scheduler::{run_trace, SimOptions};
+//! use sdb::emulator::PackBuilder;
+//! use sdb::workloads::Trace;
+//!
+//! let mut pack = PackBuilder::new()
+//!     .battery(BatterySpec::from_chemistry("energy", Chemistry::Type2CoStandard, 3.0))
+//!     .battery(BatterySpec::from_chemistry("power", Chemistry::Type3CoPower, 1.5))
+//!     .build();
+//!
+//! let mut runtime = SdbRuntime::new(2);
+//! runtime.set_discharge_directive(DischargeDirective::new(0.9));
+//!
+//! let result = run_trace(
+//!     &mut pack,
+//!     &mut runtime,
+//!     &Trace::constant(5.0, 1800.0),
+//!     &SimOptions::default(),
+//! );
+//! assert!(result.unmet_j < 1e-6);
+//! println!("delivered {:.1} kJ, losses {:.1} J",
+//!     result.supplied_j / 1e3, result.total_loss_j());
+//! ```
+//!
+//! See `examples/` for the paper's scenarios end-to-end and the
+//! `sdb-bench` crate for the full figure-regeneration harness.
+
+pub use sdb_battery_model as battery_model;
+pub use sdb_core as core;
+pub use sdb_emulator as emulator;
+pub use sdb_fuel_gauge as fuel_gauge;
+pub use sdb_power_electronics as power_electronics;
+pub use sdb_workloads as workloads;

@@ -1,0 +1,180 @@
+//! Cross-crate integration tests: full stack from workload traces through
+//! the runtime and emulator down to the electrochemical cells.
+
+use sdb::battery_model::{BatterySpec, Chemistry};
+use sdb::core::metrics::{ccb, wear_ratios};
+use sdb::core::policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
+use sdb::core::runtime::SdbRuntime;
+use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
+use sdb::emulator::profile::ProfileKind;
+use sdb::emulator::{Microcontroller, PackBuilder};
+use sdb::workloads::device::Activity;
+use sdb::workloads::traces::{tablet_session, watch_day};
+use sdb::workloads::Trace;
+
+fn hybrid_pack(soc: f64) -> Microcontroller {
+    PackBuilder::new()
+        .battery_at(
+            BatterySpec::from_chemistry("energy", Chemistry::Type2CoStandard, 3.0),
+            soc,
+            ProfileKind::Standard,
+        )
+        .battery_at(
+            BatterySpec::from_chemistry("power", Chemistry::Type3CoPower, 3.0),
+            soc,
+            ProfileKind::Fast,
+        )
+        .build()
+}
+
+#[test]
+fn energy_is_conserved_across_the_stack() {
+    let mut micro = hybrid_pack(1.0);
+    let mut runtime = SdbRuntime::new(2);
+    let trace = tablet_session(
+        3,
+        &[Activity::Network, Activity::Compute],
+        300.0,
+        2.0 * 3600.0,
+    );
+    let result = run_trace(&mut micro, &mut runtime, &trace, &SimOptions::default());
+
+    // Everything delivered + all losses must equal the chemical energy the
+    // cells gave up (within integration tolerance).
+    let chem_out: f64 = micro
+        .cells()
+        .iter()
+        .map(|c| c.energy_out_j() + c.heat_j() - c.energy_in_j())
+        .sum();
+    let accounted = result.supplied_j + result.circuit_loss_j + result.cell_heat_j;
+    let rel = (accounted - chem_out).abs() / chem_out;
+    assert!(
+        rel < 0.02,
+        "accounted {accounted} vs chemical {chem_out} ({rel:.4})"
+    );
+}
+
+#[test]
+fn discharge_then_recharge_roundtrip() {
+    let mut micro = hybrid_pack(1.0);
+    let mut runtime = SdbRuntime::new(2);
+    // Drain half the pack.
+    let result = run_trace(
+        &mut micro,
+        &mut runtime,
+        &Trace::constant(8.0, 5400.0),
+        &SimOptions::default(),
+    );
+    assert!(result.unmet_j < 1e-6);
+    let mid: Vec<f64> = micro.cells().iter().map(|c| c.soc()).collect();
+    assert!(mid.iter().all(|&s| s < 0.95));
+
+    // Recharge to ≥95 % of total capacity.
+    runtime.set_charge_directive(ChargeDirective::new(0.5));
+    let times = run_charge_session(&mut micro, &mut runtime, 40.0, &[0.95], 8.0 * 3600.0, 30.0);
+    assert!(times[0].is_some(), "pack recharges within 8 h");
+    // Gauges agree with ground truth within a percent after the cycle.
+    for (status, cell) in micro.query_battery_status().iter().zip(micro.cells()) {
+        assert!((status.soc - cell.soc()).abs() < 0.02);
+    }
+}
+
+#[test]
+fn runtime_respects_directive_semantics_over_a_real_workload() {
+    // A worn power cell: CCB-leaning directive must route load away from
+    // it relative to an RBL-leaning directive.
+    let build = || {
+        let mut m = hybrid_pack(1.0);
+        // Pre-age battery 1 by cycling its gauge-visible wear: simulate
+        // cycles by charging it through the emulator is slow; instead rely
+        // on the policy input directly.
+        m.set_discharge_ratios(&[0.5, 0.5]).unwrap();
+        m
+    };
+    let m = build();
+    let mut input = PolicyInput::from_micro(&m).with_load(10.0);
+    input.batteries[1].wear = 0.6; // battery 1 is well-worn
+    let ccb_ratios = DischargeDirective::new(0.0).ratios(&input).unwrap();
+    let rbl_ratios = DischargeDirective::new(1.0).ratios(&input).unwrap();
+    assert!(
+        ccb_ratios[1] < rbl_ratios[1],
+        "CCB avoids the worn cell: {ccb_ratios:?} vs {rbl_ratios:?}"
+    );
+}
+
+#[test]
+fn watch_trace_drives_preserve_policy_through_full_stack() {
+    let mut micro = PackBuilder::new()
+        .battery(sdb::battery_model::library::watch_li_ion().spec().clone())
+        .battery(sdb::battery_model::library::watch_bendable().spec().clone())
+        .build();
+    let mut runtime = SdbRuntime::new(2);
+    runtime.set_preserve(Some(PreservePolicy::new(0, 1, 0.3)));
+    // Morning only (first 6 h): light load → bendable does the work.
+    let mut morning = Trace::new();
+    for p in watch_day(5, Some(9.0)).points().iter().take(6 * 60) {
+        morning.push(p.load_w, p.external_w, p.dur_s);
+    }
+    let result = run_trace(&mut micro, &mut runtime, &morning, &SimOptions::default());
+    assert!(result.unmet_j < 1e-6);
+    let li_ion_used = 1.0 - micro.cells()[0].soc();
+    let bendable_used = 1.0 - micro.cells()[1].soc();
+    assert!(
+        bendable_used > 4.0 * li_ion_used,
+        "preserve policy must spend the strap cell: li-ion {li_ion_used:.4}, bendable {bendable_used:.4}"
+    );
+}
+
+#[test]
+fn repeated_days_age_the_pack_and_raise_ccb_awareness() {
+    let mut micro = hybrid_pack(1.0);
+    let mut runtime = SdbRuntime::new(2);
+    runtime.set_discharge_directive(DischargeDirective::new(1.0));
+    runtime.set_charge_directive(ChargeDirective::new(1.0));
+    // Ten compressed days: drain ~70 % of the pack at 8 W, recharge at
+    // 40 W.
+    for _ in 0..10 {
+        let day = run_trace(
+            &mut micro,
+            &mut runtime,
+            &Trace::constant(8.0, 2.0 * 3600.0),
+            &SimOptions::default(),
+        );
+        assert!(day.unmet_j < 1.0);
+        let _ = run_charge_session(&mut micro, &mut runtime, 40.0, &[0.99], 6.0 * 3600.0, 60.0);
+    }
+    let cycles: Vec<u32> = micro.cells().iter().map(|c| c.cycle_count()).collect();
+    assert!(
+        cycles.iter().sum::<u32>() >= 8,
+        "cycling happened: {cycles:?}"
+    );
+    let specs: Vec<&BatterySpec> = micro.cells().iter().map(|c| c.spec()).collect();
+    let wear = wear_ratios(&cycles, &specs);
+    let balance = ccb(&wear);
+    assert!(
+        balance < 3.0,
+        "RBL-only charging keeps wear within bounds: {balance}"
+    );
+    // Capacity fade is visible but small after ten cycles.
+    for cell in micro.cells() {
+        let frac = cell.aging().capacity_fraction();
+        assert!(frac < 1.0 && frac > 0.95, "fade = {frac}");
+    }
+}
+
+#[test]
+fn brownout_reported_once_pack_cannot_hold_the_load() {
+    let mut micro = hybrid_pack(0.08);
+    let mut runtime = SdbRuntime::new(2);
+    let result = run_trace(
+        &mut micro,
+        &mut runtime,
+        &Trace::constant(25.0, 3600.0),
+        &SimOptions {
+            stop_on_brownout: true,
+            ..SimOptions::default()
+        },
+    );
+    assert!(result.first_brownout_s.is_some());
+    assert!(result.simulated_s < 3600.0);
+}

@@ -1,0 +1,112 @@
+//! N = 3 heterogeneous pack: the paper's APIs are N-way; exercise the full
+//! stack beyond the two-battery scenarios.
+
+use sdb::battery_model::{BatterySpec, Chemistry};
+use sdb::core::api::SdbApi;
+use sdb::core::policy::{rbl_discharge, DischargeDirective, PolicyInput};
+use sdb::core::runtime::SdbRuntime;
+use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
+use sdb::emulator::{Microcontroller, PackBuilder, ProfileKind};
+use sdb::workloads::Trace;
+
+/// Energy + fast-charge + power-buffer: a plausible future tablet.
+fn tri_pack(soc: f64) -> Microcontroller {
+    PackBuilder::new()
+        .battery_at(
+            BatterySpec::from_chemistry("energy (Type 2)", Chemistry::Type2CoStandard, 4.0),
+            soc,
+            ProfileKind::Standard,
+        )
+        .battery_at(
+            BatterySpec::from_chemistry("fast (Type 3)", Chemistry::Type3CoPower, 2.0),
+            soc,
+            ProfileKind::Fast,
+        )
+        .battery_at(
+            BatterySpec::from_chemistry("buffer (LFP)", Chemistry::Type1LfpPower, 1.0),
+            soc,
+            ProfileKind::Fast,
+        )
+        .build()
+}
+
+#[test]
+fn three_way_discharge_serves_and_splits_sensibly() {
+    let mut micro = tri_pack(1.0);
+    let mut runtime = SdbRuntime::new(3);
+    runtime.set_discharge_directive(DischargeDirective::new(1.0));
+    let result = run_trace(
+        &mut micro,
+        &mut runtime,
+        &Trace::constant(12.0, 2.0 * 3600.0),
+        &SimOptions::default(),
+    );
+    assert!(result.unmet_j < 1e-6);
+    // All three batteries contributed.
+    for (i, cell) in micro.cells().iter().enumerate() {
+        assert!(cell.soc() < 0.999, "battery {i} never used");
+    }
+}
+
+#[test]
+fn burst_rides_on_the_lfp_buffer() {
+    let micro = tri_pack(0.9);
+    let input = PolicyInput::from_micro(&micro).with_load(45.0);
+    let ratios = rbl_discharge(&input).unwrap();
+    // The 1 Ah LFP buffer (25 % of nominal voltage-capacity share, lowest
+    // resistance per Ah) takes an outsized share of a heavy burst.
+    let total_cap: f64 = micro.cells().iter().map(|c| c.spec().capacity_ah).sum();
+    let cap_share = 1.0 / total_cap;
+    assert!(
+        ratios[2] > cap_share,
+        "LFP share {} vs capacity share {cap_share}",
+        ratios[2]
+    );
+    assert!((ratios.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn three_way_charge_fills_everything() {
+    let mut micro = tri_pack(0.05);
+    let mut runtime = SdbRuntime::new(3);
+    runtime.set_update_period(30.0);
+    let times = run_charge_session(&mut micro, &mut runtime, 45.0, &[0.9], 10.0 * 3600.0, 30.0);
+    assert!(times[0].is_some(), "pack reaches 90 %");
+    for cell in micro.cells() {
+        assert!(cell.soc() > 0.5, "{} at {}", cell.spec().name, cell.soc());
+    }
+}
+
+#[test]
+fn query_status_reports_all_three() {
+    let mut micro = tri_pack(0.7);
+    let api: &mut dyn SdbApi = &mut micro;
+    let rows = api.query_battery_status();
+    assert_eq!(rows.len(), 3);
+    for row in &rows {
+        assert!((row.soc - 0.7).abs() < 1e-9);
+        assert!(row.present);
+    }
+    // Three-way ratio tuples round-trip.
+    api.discharge(&[0.2, 0.3, 0.5]).unwrap();
+    api.charge(&[0.6, 0.3, 0.1]).unwrap();
+    assert!(api.discharge(&[0.5, 0.5]).is_err(), "wrong arity rejected");
+}
+
+#[test]
+fn middle_battery_detach_is_tolerated() {
+    let mut micro = tri_pack(1.0);
+    let mut runtime = SdbRuntime::new(3);
+    micro.set_battery_present(1, false).unwrap();
+    let result = run_trace(
+        &mut micro,
+        &mut runtime,
+        &Trace::constant(10.0, 3600.0),
+        &SimOptions::default(),
+    );
+    assert!(result.unmet_j < 1e-6);
+    assert!(
+        (micro.cells()[1].soc() - 1.0).abs() < 1e-4,
+        "absent battery untouched"
+    );
+}
