@@ -2,15 +2,18 @@
 //! optionally a file), for regenerating `EXPERIMENTS.md` data.
 //!
 //! ```text
-//! paper                # print the full report
-//! paper out.txt        # also write it to a file
+//! paper                            # print the full report
+//! paper out.txt                    # also write it to a file
+//! paper --metrics-out m.prom       # also dump the metrics registry
 //! ```
 
 use sdb_bench::all_experiments;
-use sdb_bench::output::emit;
+use sdb_bench::output::{emit, take_metrics_flag, write_metrics};
 use std::io::Write;
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let metrics_out = take_metrics_flag(&mut args);
     let mut report = String::new();
     report.push_str("# SDB reproduction — regenerated experiment data\n\n");
     for e in all_experiments() {
@@ -22,9 +25,12 @@ fn main() {
         ));
     }
     emit(&report);
-    if let Some(path) = std::env::args().nth(1) {
-        let mut f = std::fs::File::create(&path).expect("create output file");
+    if let Some(path) = args.first() {
+        let mut f = std::fs::File::create(path).expect("create output file");
         f.write_all(report.as_bytes()).expect("write report");
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = metrics_out {
+        write_metrics(&path);
     }
 }

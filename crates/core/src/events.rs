@@ -159,4 +159,64 @@ mod tests {
         let (charge, _) = apply_event(&mut r, OsEvent::Unplugged);
         assert!((charge - 0.5).abs() < 1e-12);
     }
+
+    /// Every `OsEvent` variant, applied to a fresh runtime (both
+    /// directives at the neutral 0.5), against the exact directive pair it
+    /// must leave in force.
+    #[test]
+    fn every_variant_maps_to_expected_directives() {
+        let table: Vec<(OsEvent, f64, f64)> = vec![
+            // (event, expected charge directive, expected discharge directive)
+            (
+                OsEvent::PluggedIn {
+                    expected_s: 8.0 * 3600.0,
+                },
+                0.0,
+                0.5,
+            ),
+            (
+                OsEvent::PluggedIn {
+                    expected_s: 2.0 * 3600.0,
+                },
+                0.5,
+                0.5,
+            ),
+            (OsEvent::PluggedIn { expected_s: 0.0 }, 1.0, 0.5),
+            (OsEvent::Unplugged, 0.5, 0.5),
+            (OsEvent::PowerScarcityImminent, 1.0, 1.0),
+            (OsEvent::PerformanceSession { active: true }, 0.5, 1.0),
+            (OsEvent::PerformanceSession { active: false }, 0.5, 0.5),
+            (OsEvent::IdlePeriod, 0.0, 0.0),
+            (OsEvent::HighPowerExpected { in_s: 0.0 }, 0.5, 0.0),
+            (OsEvent::HighPowerExpected { in_s: 3.0 * 3600.0 }, 0.5, 0.5),
+            (OsEvent::HighPowerExpected { in_s: 6.0 * 3600.0 }, 0.5, 1.0),
+        ];
+        // Compile-time exhaustiveness: adding an OsEvent variant breaks
+        // this match, reminding the author to extend the table above.
+        for (event, _, _) in &table {
+            match event {
+                OsEvent::PluggedIn { .. }
+                | OsEvent::Unplugged
+                | OsEvent::PowerScarcityImminent
+                | OsEvent::PerformanceSession { .. }
+                | OsEvent::IdlePeriod
+                | OsEvent::HighPowerExpected { .. } => {}
+            }
+        }
+        for (event, want_charge, want_discharge) in table {
+            let mut r = rt();
+            let (charge, discharge) = apply_event(&mut r, event);
+            assert!(
+                (charge - want_charge).abs() < 1e-12,
+                "{event:?}: charge {charge} want {want_charge}"
+            );
+            assert!(
+                (discharge - want_discharge).abs() < 1e-12,
+                "{event:?}: discharge {discharge} want {want_discharge}"
+            );
+            // apply_event's return value mirrors the runtime state.
+            assert_eq!(charge, r.charge_directive().value());
+            assert_eq!(discharge, r.discharge_directive().value());
+        }
+    }
 }

@@ -9,6 +9,17 @@
 use crate::api::SdbApi;
 use crate::error::SdbError;
 use crate::policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
+use sdb_observe::{Counter, Gauge, ObsEvent, Observer, SpanName};
+
+/// Metric handles the tick path updates without touching the registry
+/// lock (registered once in [`SdbRuntime::set_observer`]).
+#[derive(Debug, Clone)]
+struct RuntimeMetrics {
+    policy_evals: Counter,
+    pushes: Counter,
+    charge_directive: Gauge,
+    discharge_directive: Gauge,
+}
 
 /// The SDB Runtime.
 #[derive(Debug, Clone)]
@@ -25,6 +36,11 @@ pub struct SdbRuntime {
     last_charge: Vec<f64>,
     /// Ratio pushes actually sent to the hardware.
     pushes: u64,
+    /// Observability hook (no-op unless an observer is installed).
+    observer: Observer,
+    /// Cached metric handles (present only when the observer has a
+    /// registry).
+    metrics: Option<RuntimeMetrics>,
 }
 
 impl SdbRuntime {
@@ -37,7 +53,7 @@ impl SdbRuntime {
     #[must_use]
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "need at least one battery");
-        Self {
+        let mut rt = Self {
             n,
             charge_directive: ChargeDirective::new(0.5),
             discharge_directive: DischargeDirective::new(0.5),
@@ -47,19 +63,53 @@ impl SdbRuntime {
             last_discharge: Vec::new(),
             last_charge: Vec::new(),
             pushes: 0,
-        }
+            observer: Observer::disabled(),
+            metrics: None,
+        };
+        rt.set_observer(sdb_observe::global());
+        rt
+    }
+
+    /// Installs the observability hook. Pass [`Observer::disabled`] to turn
+    /// instrumentation off again. New runtimes default to
+    /// [`sdb_observe::global`].
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.metrics = observer.registry().map(|reg| {
+            let m = RuntimeMetrics {
+                policy_evals: reg.counter("sdb_policy_evals_total", &[]),
+                pushes: reg.counter("sdb_runtime_ratio_pushes_total", &[]),
+                charge_directive: reg.gauge("sdb_charge_directive", &[]),
+                discharge_directive: reg.gauge("sdb_discharge_directive", &[]),
+            };
+            m.charge_directive.set(self.charge_directive.value());
+            m.discharge_directive.set(self.discharge_directive.value());
+            m
+        });
+        self.observer = observer;
+    }
+
+    /// The installed observability hook.
+    #[must_use]
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Sets the charging directive parameter (0 = longevity, 1 = fast
     /// useful charge).
     pub fn set_charge_directive(&mut self, d: ChargeDirective) {
         self.charge_directive = d;
+        if let Some(m) = &self.metrics {
+            m.charge_directive.set(d.value());
+        }
     }
 
     /// Sets the discharging directive parameter (0 = longevity, 1 =
     /// maximize instantaneous battery life).
     pub fn set_discharge_directive(&mut self, d: DischargeDirective) {
         self.discharge_directive = d;
+        if let Some(m) = &self.metrics {
+            m.discharge_directive.set(d.value());
+        }
     }
 
     /// Installs (or clears) the workload-aware preserve policy.
@@ -117,6 +167,10 @@ impl SdbRuntime {
             return Ok(false);
         }
         self.since_update_s = 0.0;
+        let _span = self.observer.span(SpanName::PolicyEval);
+        if let Some(m) = &self.metrics {
+            m.policy_evals.inc();
+        }
         let mut pushed = false;
 
         let discharge = match &self.preserve {
@@ -128,6 +182,9 @@ impl SdbRuntime {
                 api.discharge(&ratios)?;
                 self.last_discharge = ratios;
                 self.pushes += 1;
+                if let Some(m) = &self.metrics {
+                    m.pushes.inc();
+                }
                 pushed = true;
             }
         }
@@ -137,9 +194,17 @@ impl SdbRuntime {
                 api.charge(&ratios)?;
                 self.last_charge = ratios;
                 self.pushes += 1;
+                if let Some(m) = &self.metrics {
+                    m.pushes.inc();
+                }
                 pushed = true;
             }
         }
+        self.observer.emit(ObsEvent::PolicyEvaluation {
+            pushed,
+            charge_directive: self.charge_directive.value(),
+            discharge_directive: self.discharge_directive.value(),
+        });
         Ok(pushed)
     }
 

@@ -97,6 +97,9 @@ where
     let n = micro.battery_count();
     let start = micro.time_s();
     let (d0, cl0, ch0, u0, e0) = micro.energy_totals_j();
+    // Clone of the runtime's observer handle for span timing (shares the
+    // same registry; cheap `Option<Arc>` clone).
+    let obs = runtime.observer().clone();
 
     let mut first_brownout = None;
     let mut battery_empty: Vec<Option<f64>> = vec![None; n];
@@ -106,6 +109,7 @@ where
 
     let resampled = trace.resampled(opts.max_dt_s);
     'outer: for p in resampled.points() {
+        let _span = obs.span(sdb_observe::SpanName::TraceStep);
         let input = PolicyInput::from_micro(micro)
             .with_load(p.load_w)
             .with_external(p.external_w);

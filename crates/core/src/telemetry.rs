@@ -2,11 +2,17 @@
 //!
 //! The paper's devices are "instrumented to obtain fine grained (100 Hz)
 //! power-draw measurements" (Section 4.3); this module is the equivalent
-//! instrumentation for the emulation: a [`Telemetry`] recorder plugs into
-//! [`crate::scheduler::run_trace_observed`] and captures per-step rows —
-//! power, losses, per-battery SoC — exportable as CSV for plotting.
+//! instrumentation for the emulation: a [`Telemetry`] recorder captures
+//! per-step rows — power, losses, per-battery SoC — exportable as CSV for
+//! plotting. It plugs in two ways: as the observer callback for
+//! [`crate::scheduler::run_trace_observed`], or as an
+//! [`sdb_observe::EventSink`] on the event bus (it records the
+//! [`ObsEvent::StepSample`] events the microcontroller emits and ignores
+//! everything else).
 
 use sdb_emulator::micro::StepReport;
+use sdb_observe::{EventSink, ObsEvent};
+use std::fmt::Write as _;
 
 /// One recorded step.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,20 +57,51 @@ impl Telemetry {
         }
     }
 
+    /// A shared recorder ready to attach to an
+    /// [`sdb_observe::Observer`] as an event sink: attach a clone with
+    /// `observer.add_sink(Box::new(telemetry.clone()))`, keep the original
+    /// for reading the rows afterwards.
+    #[must_use]
+    pub fn shared(min_interval_s: f64) -> std::sync::Arc<std::sync::Mutex<Self>> {
+        std::sync::Arc::new(std::sync::Mutex::new(Self::with_interval(min_interval_s)))
+    }
+
     /// The observer callback to hand to
     /// [`crate::scheduler::run_trace_observed`].
     pub fn observe(&mut self, t_s: f64, report: &StepReport) {
         if t_s - self.last_t_s < self.min_interval_s {
             return;
         }
+        self.push_row(
+            t_s,
+            report.load_w,
+            report.supplied_w,
+            report.circuit_loss_w + report.cell_heat_w,
+            report.batteries.iter().map(|b| b.soc).collect(),
+            report.batteries.iter().map(|b| b.current_a).collect(),
+        );
+    }
+
+    fn push_row(
+        &mut self,
+        t_s: f64,
+        load_w: f64,
+        supplied_w: f64,
+        loss_w: f64,
+        soc: Vec<f64>,
+        current_a: Vec<f64>,
+    ) {
+        if t_s - self.last_t_s < self.min_interval_s {
+            return;
+        }
         self.last_t_s = t_s;
         self.rows.push(TelemetryRow {
             t_s,
-            load_w: report.load_w,
-            supplied_w: report.supplied_w,
-            loss_w: report.circuit_loss_w + report.cell_heat_w,
-            soc: report.batteries.iter().map(|b| b.soc).collect(),
-            current_a: report.batteries.iter().map(|b| b.current_a).collect(),
+            load_w,
+            supplied_w,
+            loss_w,
+            soc,
+            current_a,
         });
     }
 
@@ -75,32 +112,62 @@ impl Telemetry {
     }
 
     /// Exports the series as CSV
-    /// (`t_s,load_w,supplied_w,loss_w,soc_0..,i_0..`).
+    /// (`t_s,load_w,supplied_w,loss_w,soc_0..,i_0..`). Floats are written
+    /// with full round-trip precision.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let n = self.rows.first().map_or(0, |r| r.soc.len());
-        let mut out = String::from("t_s,load_w,supplied_w,loss_w");
+        // Preallocate: ~24 bytes per float field plus separators covers
+        // full round-trip precision without reallocating mid-export.
+        let fields = 4 + 2 * n;
+        let mut out = String::with_capacity(16 + 8 * fields + self.rows.len() * 24 * fields);
+        out.push_str("t_s,load_w,supplied_w,loss_w");
         for i in 0..n {
-            out.push_str(&format!(",soc_{i}"));
+            let _ = write!(out, ",soc_{i}");
         }
         for i in 0..n {
-            out.push_str(&format!(",i_{i}"));
+            let _ = write!(out, ",i_{i}");
         }
         out.push('\n');
         for r in &self.rows {
-            out.push_str(&format!(
-                "{},{},{},{}",
+            let _ = write!(
+                out,
+                "{:?},{:?},{:?},{:?}",
                 r.t_s, r.load_w, r.supplied_w, r.loss_w
-            ));
+            );
             for s in &r.soc {
-                out.push_str(&format!(",{s}"));
+                let _ = write!(out, ",{s:?}");
             }
             for i in &r.current_a {
-                out.push_str(&format!(",{i}"));
+                let _ = write!(out, ",{i:?}");
             }
             out.push('\n');
         }
         out
+    }
+}
+
+impl EventSink for Telemetry {
+    /// Records [`ObsEvent::StepSample`] events as telemetry rows; all other
+    /// events are ignored.
+    fn record(&mut self, t_s: f64, event: &ObsEvent) {
+        if let ObsEvent::StepSample {
+            load_w,
+            supplied_w,
+            loss_w,
+            soc,
+            current_a,
+        } = event
+        {
+            self.push_row(
+                t_s,
+                *load_w,
+                *supplied_w,
+                *loss_w,
+                soc.clone(),
+                current_a.clone(),
+            );
+        }
     }
 }
 
@@ -183,5 +250,51 @@ mod tests {
     fn empty_recorder_yields_header_only_csv() {
         let t = Telemetry::new();
         assert_eq!(t.to_csv(), "t_s,load_w,supplied_w,loss_w\n");
+    }
+
+    #[test]
+    fn csv_floats_round_trip() {
+        let mut t = Telemetry::new();
+        let third = 1.0 / 3.0;
+        t.push_row(third, third, third, third, vec![third], vec![third]);
+        let csv = t.to_csv();
+        let data = csv.lines().nth(1).unwrap();
+        for field in data.split(',') {
+            let parsed: f64 = field.parse().unwrap();
+            assert_eq!(parsed, third, "field {field} lost precision");
+        }
+    }
+
+    #[test]
+    fn telemetry_works_as_event_sink() {
+        use sdb_observe::Observer;
+        let mut micro = PackBuilder::new()
+            .battery(BatterySpec::from_chemistry(
+                "a",
+                Chemistry::Type2CoStandard,
+                2.0,
+            ))
+            .build();
+        let obs = Observer::new();
+        let telemetry = Telemetry::shared(0.0);
+        obs.add_sink(Box::new(telemetry.clone()));
+        micro.set_observer(obs);
+        for _ in 0..5 {
+            micro.step(3.0, 0.0, 60.0);
+        }
+        let t = telemetry.lock().unwrap();
+        assert_eq!(t.rows().len(), 5);
+        assert_eq!(t.rows()[0].soc.len(), 1);
+        assert!((t.rows()[0].load_w - 3.0).abs() < 1e-12);
+        // Non-sample events are ignored.
+        let mut solo = Telemetry::new();
+        solo.record(
+            1.0,
+            &ObsEvent::BatteryPresence {
+                battery: 0,
+                present: false,
+            },
+        );
+        assert!(solo.rows().is_empty());
     }
 }

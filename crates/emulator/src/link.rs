@@ -102,6 +102,12 @@ impl Link {
         self.stats.sent += 1;
         if self.drop_period > 0 && self.counter.is_multiple_of(u64::from(self.drop_period)) {
             self.stats.dropped += 1;
+            let observer = self.micro.observer();
+            if observer.wants_events() {
+                observer.emit(sdb_observe::ObsEvent::FaultInjection {
+                    description: format!("link dropped command #{}", self.counter),
+                });
+            }
             return;
         }
         self.in_flight.push_back((self.latency_ticks, cmd));

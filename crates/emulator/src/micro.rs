@@ -13,9 +13,22 @@ use crate::profile::{ChargingProfile, ProfileKind};
 use sdb_battery_model::error::BatteryError;
 use sdb_battery_model::thevenin::TheveninCell;
 use sdb_fuel_gauge::gauge::{BatteryStatus, FuelGauge};
+use sdb_observe::{Counter, Flow, ObsEvent, Observer, SpanName};
 use sdb_power_electronics::circuits::{ChargeCircuit, DischargeCircuit};
 use sdb_power_electronics::error::{check_ratios, PowerError};
 use sdb_power_electronics::measurement::ShareChain;
+
+/// Counter handles the firmware hot paths update without touching the
+/// registry lock (registered once in [`Microcontroller::set_observer`]).
+#[derive(Debug, Clone)]
+struct MicroMetrics {
+    steps: Counter,
+    brownout_steps: Counter,
+    safety_clamps: Counter,
+    ratio_pushes_charge: Counter,
+    ratio_pushes_discharge: Counter,
+    throttle_transitions: Counter,
+}
 
 /// Firmware thermal charge-throttle: when a charging cell exceeds
 /// `limit_c`, the microcontroller drops it to the gentle profile until it
@@ -112,6 +125,11 @@ pub struct Microcontroller {
     cell_heat_j: f64,
     unmet_j: f64,
     external_in_j: f64,
+    /// Observability hook (no-op unless an observer is installed).
+    observer: Observer,
+    /// Cached metric handles (present only when the observer has a
+    /// registry).
+    metrics: Option<MicroMetrics>,
 }
 
 impl Microcontroller {
@@ -148,7 +166,7 @@ impl Microcontroller {
             }
             cells.push(cell);
         }
-        Self {
+        let mut micro = Self {
             cells,
             gauges,
             profiles,
@@ -167,7 +185,35 @@ impl Microcontroller {
             cell_heat_j: 0.0,
             unmet_j: 0.0,
             external_in_j: 0.0,
+            observer: Observer::disabled(),
+            metrics: None,
+        };
+        micro.set_observer(sdb_observe::global());
+        micro
+    }
+
+    /// Installs the observability hook on the firmware and every fuel
+    /// gauge. Pass [`Observer::disabled`] to turn instrumentation off
+    /// again. New controllers default to [`sdb_observe::global`].
+    pub fn set_observer(&mut self, observer: Observer) {
+        self.metrics = observer.registry().map(|reg| MicroMetrics {
+            steps: reg.counter("sdb_micro_steps_total", &[]),
+            brownout_steps: reg.counter("sdb_micro_brownout_steps_total", &[]),
+            safety_clamps: reg.counter("sdb_safety_clamps_total", &[]),
+            ratio_pushes_charge: reg.counter("sdb_ratio_pushes_total", &[("flow", "charge")]),
+            ratio_pushes_discharge: reg.counter("sdb_ratio_pushes_total", &[("flow", "discharge")]),
+            throttle_transitions: reg.counter("sdb_thermal_throttle_transitions_total", &[]),
+        });
+        for (i, gauge) in self.gauges.iter_mut().enumerate() {
+            gauge.set_observer(observer.clone(), i);
         }
+        self.observer = observer;
+    }
+
+    /// The installed observability hook.
+    #[must_use]
+    pub fn observer(&self) -> &Observer {
+        &self.observer
     }
 
     /// Number of batteries in the pack.
@@ -186,6 +232,15 @@ impl Microcontroller {
     /// for malformed tuples.
     pub fn set_discharge_ratios(&mut self, ratios: &[f64]) -> Result<(), PowerError> {
         self.discharge_ratios = self.realize_ratios(ratios)?;
+        if let Some(m) = &self.metrics {
+            m.ratio_pushes_discharge.inc();
+        }
+        if self.observer.wants_events() {
+            self.observer.emit(ObsEvent::RatioPush {
+                flow: Flow::Discharge,
+                ratios: self.discharge_ratios.clone(),
+            });
+        }
         Ok(())
     }
 
@@ -196,6 +251,15 @@ impl Microcontroller {
     /// As [`Microcontroller::set_discharge_ratios`].
     pub fn set_charge_ratios(&mut self, ratios: &[f64]) -> Result<(), PowerError> {
         self.charge_ratios = self.realize_ratios(ratios)?;
+        if let Some(m) = &self.metrics {
+            m.ratio_pushes_charge.inc();
+        }
+        if self.observer.wants_events() {
+            self.observer.emit(ObsEvent::RatioPush {
+                flow: Flow::Charge,
+                ratios: self.charge_ratios.clone(),
+            });
+        }
         Ok(())
     }
 
@@ -278,6 +342,10 @@ impl Microcontroller {
                 name: "battery index",
                 value: battery as f64,
             });
+        }
+        if self.present[battery] != present {
+            self.observer
+                .emit(ObsEvent::BatteryPresence { battery, present });
         }
         self.present[battery] = present;
         if !present {
@@ -371,7 +439,15 @@ impl Microcontroller {
             })?
             .spec()
             .clone();
+        let from = self.profiles[battery].kind;
         self.profiles[battery] = ChargingProfile::for_spec(kind, &spec);
+        if from != kind {
+            self.observer.emit(ObsEvent::ProfileTransition {
+                battery,
+                from: from.name(),
+                to: kind.name(),
+            });
+        }
         Ok(())
     }
 
@@ -456,6 +532,8 @@ impl Microcontroller {
             external_w.is_finite() && external_w >= 0.0,
             "bad external: {external_w}"
         );
+        self.observer.set_clock(self.time_s);
+        let _span = self.observer.span(SpanName::MicroStep);
 
         let n = self.cells.len();
         // Firmware housekeeping: refresh the thermal-throttle latches.
@@ -739,6 +817,28 @@ impl Microcontroller {
         self.unmet_j += unmet_w * dt_s;
         self.external_in_j += external_used_w * dt_s;
 
+        // Advance the shared clock so events emitted between steps (policy
+        // ticks, ratio pushes) carry the post-step time.
+        self.observer.set_clock(self.time_s);
+        if let Some(m) = &self.metrics {
+            m.steps.inc();
+            if unmet_w > 1e-9 {
+                m.brownout_steps.inc();
+            }
+        }
+        if self.observer.wants_events() {
+            self.observer.emit_at(
+                self.time_s,
+                ObsEvent::StepSample {
+                    load_w,
+                    supplied_w,
+                    loss_w: circuit_loss_w + cell_heat_w,
+                    soc: info.iter().map(|b| b.soc).collect(),
+                    current_a: info.iter().map(|b| b.current_a).collect(),
+                },
+            );
+        }
+
         StepReport {
             time_s: self.time_s,
             load_w,
@@ -792,6 +892,17 @@ impl Microcontroller {
         let cell = &mut self.cells[i];
         let current = cell.current_for_power(power_w)?;
         let capped = current.min(cell.spec().max_discharge_a);
+        if capped < current * (1.0 - 1e-9) {
+            if let Some(m) = &self.metrics {
+                m.safety_clamps.inc();
+            }
+            self.observer.emit(ObsEvent::SafetyClamp {
+                battery: i,
+                flow: Flow::Discharge,
+                requested_a: current,
+                applied_a: capped,
+            });
+        }
         let out = cell.step_current(capped, dt_s)?;
         // Fraction of the requested energy actually served: the step may
         // truncate at empty, and the current limit may cap power below the
@@ -832,10 +943,23 @@ impl Microcontroller {
         if self.throttled[i] {
             if temp < throttle.resume_c {
                 self.throttled[i] = false;
+                self.note_throttle_transition(i, false, temp);
             }
         } else if temp > throttle.limit_c {
             self.throttled[i] = true;
+            self.note_throttle_transition(i, true, temp);
         }
+    }
+
+    fn note_throttle_transition(&self, battery: usize, engaged: bool, temperature_c: f64) {
+        if let Some(m) = &self.metrics {
+            m.throttle_transitions.inc();
+        }
+        self.observer.emit(ObsEvent::ThermalThrottle {
+            battery,
+            engaged,
+            temperature_c,
+        });
     }
 
     /// Attempts to push `power_w` into battery `i`'s terminals for `dt_s`,
@@ -852,14 +976,15 @@ impl Microcontroller {
         if power_w <= 0.0 {
             return (0.0, 0.0, 0.0, None);
         }
-        let cap_i = {
+        let (cap_i, hard_cap_binds) = {
             let cell = &self.cells[i];
             let profile_cap = if self.throttled[i] {
                 ChargingProfile::for_spec(ProfileKind::Gentle, cell.spec()).current_at(cell.soc())
             } else {
                 self.profiles[i].current_at(cell.soc())
             };
-            profile_cap.min(cell.spec().max_charge_a)
+            let hard_cap = cell.spec().max_charge_a;
+            (profile_cap.min(hard_cap), hard_cap < profile_cap)
         };
         let cell = &mut self.cells[i];
         let v_est = cell.terminal_voltage(-cap_i * 0.5).max(0.1);
@@ -867,6 +992,19 @@ impl Microcontroller {
         let use_i = want_i.min(cap_i);
         if use_i <= 0.0 {
             return (0.0, 0.0, 0.0, None);
+        }
+        // The profile taper shaping charge current is normal operation; only
+        // the cell's hard current rating binding is a safety clamp.
+        if hard_cap_binds && use_i < want_i * (1.0 - 1e-9) {
+            if let Some(m) = &self.metrics {
+                m.safety_clamps.inc();
+            }
+            self.observer.emit(ObsEvent::SafetyClamp {
+                battery: i,
+                flow: Flow::Charge,
+                requested_a: want_i,
+                applied_a: use_i,
+            });
         }
         match cell.step_current(-use_i, dt_s) {
             Ok(out) => {
@@ -1300,6 +1438,47 @@ mod tests {
     fn step_rejects_zero_dt() {
         let mut m = two_battery_pack();
         let _ = m.step(1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn observer_records_ratio_pushes_and_step_samples() {
+        use sdb_observe::FlightRecorder;
+        let mut m = two_battery_pack();
+        let obs = Observer::new();
+        let rec = FlightRecorder::shared(64);
+        obs.add_sink(Box::new(rec.clone()));
+        m.set_observer(obs.clone());
+        m.set_discharge_ratios(&[0.5, 0.5]).unwrap();
+        m.step(4.0, 0.0, 60.0);
+        let text = obs.registry().unwrap().to_prometheus_text();
+        assert!(text.contains("sdb_micro_steps_total 1"), "{text}");
+        assert!(
+            text.contains("sdb_ratio_pushes_total{flow=\"discharge\"} 1"),
+            "{text}"
+        );
+        assert!(text.contains("sdb_micro_step_ns_count 1"), "{text}");
+        let dump = rec.lock().unwrap().dump();
+        assert!(dump.iter().any(|e| matches!(
+            e.event,
+            ObsEvent::RatioPush {
+                flow: Flow::Discharge,
+                ..
+            }
+        )));
+        let sample = dump
+            .iter()
+            .find(|e| matches!(e.event, ObsEvent::StepSample { .. }))
+            .expect("step sample recorded");
+        assert_eq!(sample.t_s, 60.0);
+    }
+
+    #[test]
+    fn disabled_observer_records_nothing() {
+        let mut m = two_battery_pack();
+        m.set_observer(Observer::disabled());
+        m.set_discharge_ratios(&[0.5, 0.5]).unwrap();
+        m.step(4.0, 0.0, 60.0);
+        assert!(!m.observer().enabled());
     }
     #[test]
     fn diag_thermal() {

@@ -21,6 +21,18 @@ pub enum ProfileKind {
     Gentle,
 }
 
+impl ProfileKind {
+    /// Stable lowercase name (used in observability events and CLI args).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ProfileKind::Standard => "standard",
+            ProfileKind::Fast => "fast",
+            ProfileKind::Gentle => "gentle",
+        }
+    }
+}
+
 /// A piecewise-constant-current charging profile with a CV taper.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChargingProfile {

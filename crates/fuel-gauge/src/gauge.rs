@@ -10,6 +10,7 @@
 use crate::coulomb::CoulombCounter;
 use sdb_battery_model::aging::CYCLE_CHARGE_THRESHOLD;
 use sdb_battery_model::spec::BatterySpec;
+use sdb_observe::{Counter, ObsEvent, Observer};
 
 /// Configuration of one gauge instance.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +82,13 @@ pub struct FuelGauge {
     learned_capacity_ah: f64,
     /// Capacity observations folded into the estimate.
     capacity_observations: u32,
+    /// Observability hook (disabled by default; the microcontroller
+    /// installs its observer here).
+    observer: Observer,
+    /// Battery index used to label emitted events.
+    battery_index: usize,
+    /// Cached recalibration counter (registered on `set_observer`).
+    recal_counter: Option<Counter>,
 }
 
 impl FuelGauge {
@@ -110,7 +118,21 @@ impl FuelGauge {
             anchor_soc: None,
             learned_capacity_ah: capacity,
             capacity_observations: 0,
+            observer: Observer::disabled(),
+            battery_index: 0,
+            recal_counter: None,
         }
+    }
+
+    /// Installs the observability hook. Recalibrations emit
+    /// [`ObsEvent::GaugeRecalibration`] labeled with `battery_index` and
+    /// count into `sdb_gauge_recalibrations_total`.
+    pub fn set_observer(&mut self, observer: Observer, battery_index: usize) {
+        self.recal_counter = observer
+            .registry()
+            .map(|reg| reg.counter("sdb_gauge_recalibrations_total", &[]));
+        self.observer = observer;
+        self.battery_index = battery_index;
     }
 
     /// Feeds one measurement sample: true terminal voltage and current held
@@ -165,8 +187,17 @@ impl FuelGauge {
                         }
                     }
                     self.anchor_soc = Some(soc);
+                    let soc_before = self.soc_estimate;
                     self.soc_estimate = soc;
                     self.counter.reset_net();
+                    if let Some(c) = &self.recal_counter {
+                        c.inc();
+                    }
+                    self.observer.emit(ObsEvent::GaugeRecalibration {
+                        battery: self.battery_index,
+                        soc_before,
+                        soc_after: soc,
+                    });
                 }
                 self.rest_s = 0.0;
             }
@@ -391,6 +422,39 @@ mod tests {
             "learned = {}",
             gauge.learned_capacity_ah()
         );
+    }
+
+    #[test]
+    fn recalibration_emits_event_and_counts() {
+        let obs = Observer::new();
+        let rec = sdb_observe::FlightRecorder::shared(16);
+        obs.add_sink(Box::new(rec.clone()));
+        let spec = spec();
+        let mut gauge = FuelGauge::new(spec.clone(), 0.9, ideal_config());
+        gauge.set_observer(obs.clone(), 3);
+        // Rest at the true OCV of a half-charged cell long enough to fire
+        // an OCV recalibration.
+        let cell = TheveninCell::with_soc(spec, 0.5);
+        let ocv = cell.ocv();
+        for _ in 0..40 {
+            gauge.sample(ocv, 0.0, 60.0);
+        }
+        let dump = rec.lock().unwrap().dump();
+        let recal = dump
+            .iter()
+            .find(|e| matches!(e.event, ObsEvent::GaugeRecalibration { battery: 3, .. }))
+            .expect("recalibration event recorded");
+        if let ObsEvent::GaugeRecalibration {
+            soc_before,
+            soc_after,
+            ..
+        } = recal.event
+        {
+            assert!(soc_before > 0.8);
+            assert!((soc_after - 0.5).abs() < 0.02);
+        }
+        let text = obs.registry().unwrap().to_prometheus_text();
+        assert!(text.contains("sdb_gauge_recalibrations_total 1"));
     }
 
     #[test]

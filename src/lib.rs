@@ -18,6 +18,9 @@
 //!   trace generators (paper §4.3, §5).
 //! * [`core`] — the SDB Runtime: CCB/RBL metrics and policies, directive
 //!   parameters, the scheduler, and the Section 5 scenarios.
+//! * [`observe`] — flight-recorder observability: a metrics registry with
+//!   Prometheus/JSON exporters, the structured event bus every layer emits
+//!   into, and hot-path span timing.
 //!
 //! ## Quickstart
 //!
@@ -57,5 +60,6 @@ pub use sdb_battery_model as battery_model;
 pub use sdb_core as core;
 pub use sdb_emulator as emulator;
 pub use sdb_fuel_gauge as fuel_gauge;
+pub use sdb_observe as observe;
 pub use sdb_power_electronics as power_electronics;
 pub use sdb_workloads as workloads;

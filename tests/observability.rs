@@ -1,0 +1,316 @@
+//! Flight-recorder observability integration tests: the event bus wired
+//! through every layer, the metrics registry exporters, and post-mortem
+//! dumps from fault-injection runs.
+
+use sdb::battery_model::{BatterySpec, Chemistry};
+use sdb::core::runtime::SdbRuntime;
+use sdb::core::scheduler::{run_trace, SimOptions};
+use sdb::core::telemetry::Telemetry;
+use sdb::emulator::micro::ThermalThrottle;
+use sdb::emulator::{Microcontroller, PackBuilder, ProfileKind};
+use sdb::fuel_gauge::gauge::GaugeConfig;
+use sdb::observe::{FlightRecorder, ObsEvent, Observer};
+use sdb::workloads::Trace;
+
+fn hybrid_pack() -> Microcontroller {
+    PackBuilder::new()
+        .battery(BatterySpec::from_chemistry(
+            "a",
+            Chemistry::Type2CoStandard,
+            3.0,
+        ))
+        .battery(BatterySpec::from_chemistry(
+            "b",
+            Chemistry::Type3CoPower,
+            3.0,
+        ))
+        .build()
+}
+
+/// The acceptance scenario: a 2-battery run with a flight recorder
+/// attached yields a non-empty dump containing at least ratio-push and
+/// policy-evaluation events.
+#[test]
+fn flight_recorder_captures_trace_run() {
+    let mut micro = hybrid_pack();
+    let mut runtime = SdbRuntime::new(2);
+    let obs = Observer::new();
+    let recorder = FlightRecorder::shared(4096);
+    obs.add_sink(Box::new(recorder.clone()));
+    micro.set_observer(obs.clone());
+    runtime.set_observer(obs.clone());
+
+    let result = run_trace(
+        &mut micro,
+        &mut runtime,
+        &Trace::constant(4.0, 1800.0),
+        &SimOptions::default(),
+    );
+    assert!(result.unmet_j < 1e-6);
+
+    let rec = recorder.lock().unwrap();
+    let dump = rec.dump();
+    assert!(!dump.is_empty(), "flight recorder stayed empty");
+    assert!(
+        dump.iter()
+            .any(|e| matches!(e.event, ObsEvent::RatioPush { .. })),
+        "no ratio-push events in dump"
+    );
+    assert!(
+        dump.iter()
+            .any(|e| matches!(e.event, ObsEvent::PolicyEvaluation { .. })),
+        "no policy-evaluation events in dump"
+    );
+    // Timestamps are the simulation clock, oldest first.
+    assert!(dump.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+    assert!(dump.last().unwrap().t_s <= 1800.0);
+    // The textual dump renders one line per event.
+    assert_eq!(rec.dump_text().lines().count(), dump.len());
+}
+
+/// Every exporter line must parse as `name{labels} value` (or
+/// `name value`), with a finite or +Inf-bucket value — checked with a
+/// hand-rolled parser, no regex.
+#[test]
+fn prometheus_export_parses_line_by_line() {
+    let mut micro = hybrid_pack();
+    let mut runtime = SdbRuntime::new(2);
+    let obs = Observer::new();
+    micro.set_observer(obs.clone());
+    runtime.set_observer(obs.clone());
+    let _ = run_trace(
+        &mut micro,
+        &mut runtime,
+        &Trace::constant(4.0, 1800.0),
+        &SimOptions::default(),
+    );
+
+    let text = obs.registry().unwrap().to_prometheus_text();
+    assert!(!text.is_empty());
+    let mut names = Vec::new();
+    for line in text.lines() {
+        // Split metric id from value at the last space.
+        let (id, value) = line.rsplit_once(' ').expect("line has no value");
+        assert!(!value.is_empty(), "empty value in {line:?}");
+        let _: f64 = value.parse().unwrap_or_else(|_| {
+            assert_eq!(value, "+Inf", "unparseable value {value:?} in {line:?}");
+            f64::INFINITY
+        });
+        let name = match id.split_once('{') {
+            Some((name, rest)) => {
+                assert!(rest.ends_with('}'), "unclosed label set in {line:?}");
+                let labels = &rest[..rest.len() - 1];
+                for pair in labels.split(',') {
+                    let (k, v) = pair.split_once('=').expect("label without =");
+                    assert!(!k.is_empty());
+                    assert!(
+                        v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                        "unquoted label value in {line:?}"
+                    );
+                }
+                name
+            }
+            None => id,
+        };
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name {name:?}"
+        );
+        names.push(name.to_string());
+    }
+    // The run actually recorded the cross-layer metrics.
+    for expected in [
+        "sdb_micro_steps_total",
+        "sdb_ratio_pushes_total",
+        "sdb_policy_evals_total",
+        "sdb_micro_step_ns_bucket",
+        "sdb_policy_eval_ns_count",
+        "sdb_trace_step_ns_sum",
+    ] {
+        assert!(
+            names.iter().any(|n| n == expected),
+            "missing metric {expected}"
+        );
+    }
+}
+
+/// A fault-injection run (thermal stress + drifting gauge, as in
+/// `faults.rs`) leaves throttle and recalibration events in the recorder
+/// for post-mortem analysis.
+#[test]
+fn fault_injection_run_records_throttle_and_recalibration() {
+    let obs = Observer::new();
+    let recorder = FlightRecorder::shared(65536);
+    obs.add_sink(Box::new(recorder.clone()));
+
+    // Thermal stress: sustained fast charge in a warm environment.
+    let mut hot = PackBuilder::new()
+        .battery_at(
+            BatterySpec::from_chemistry("fast", Chemistry::Type3CoPower, 3.0),
+            0.05,
+            ProfileKind::Fast,
+        )
+        .ambient_c(35.0)
+        .build();
+    hot.set_observer(obs.clone());
+    hot.set_thermal_throttle(Some(ThermalThrottle {
+        limit_c: 37.5,
+        resume_c: 36.0,
+    }));
+    hot.set_charge_ratios(&[1.0]).unwrap();
+    for _ in 0..240 {
+        hot.step(0.0, 30.0, 30.0);
+    }
+
+    // Gauge drift: a large current offset integrates into SoC error under
+    // light load, then an hour of rest triggers OCV recalibration.
+    let mut drifty = PackBuilder::new()
+        .battery(BatterySpec::from_chemistry(
+            "a",
+            Chemistry::Type2CoStandard,
+            3.0,
+        ))
+        .gauge(GaugeConfig {
+            current_lsb_a: 0.002,
+            current_offset_a: 0.004,
+            voltage_lsb_v: 0.002,
+            rest_recal_s: 1200.0,
+        })
+        .build();
+    drifty.set_observer(obs.clone());
+    let mut runtime = SdbRuntime::new(1);
+    runtime.set_observer(obs.clone());
+    let _ = run_trace(
+        &mut drifty,
+        &mut runtime,
+        &Trace::constant(1.0, 8.0 * 3600.0),
+        &SimOptions::default(),
+    );
+    let _ = run_trace(
+        &mut drifty,
+        &mut runtime,
+        &Trace::constant(0.0, 3600.0),
+        &SimOptions::default(),
+    );
+
+    let rec = recorder.lock().unwrap();
+    let dump = rec.dump();
+    let throttle_engagements = dump
+        .iter()
+        .filter(|e| matches!(e.event, ObsEvent::ThermalThrottle { engaged: true, .. }))
+        .count();
+    assert!(throttle_engagements >= 1, "no throttle events recorded");
+    assert!(
+        dump.iter()
+            .any(|e| matches!(e.event, ObsEvent::GaugeRecalibration { .. })),
+        "no gauge-recalibration events recorded"
+    );
+    // Registry counters agree with the event stream.
+    let text = obs.registry().unwrap().to_prometheus_text();
+    assert!(text.contains("sdb_gauge_recalibrations_total"));
+    assert!(text.contains("sdb_thermal_throttle_transitions_total"));
+}
+
+/// Dropped link commands surface as fault-injection events.
+#[test]
+fn lossy_link_records_fault_injections() {
+    use sdb::core::policy::PolicyInput;
+    use sdb::emulator::link::Link;
+
+    let obs = Observer::new();
+    let recorder = FlightRecorder::shared(256);
+    obs.add_sink(Box::new(recorder.clone()));
+    let mut micro = hybrid_pack();
+    micro.set_observer(obs.clone());
+    // Drop every 2nd command.
+    let mut link = Link::new(micro, 0, 2);
+    let mut runtime = SdbRuntime::new(2);
+    runtime.set_observer(obs.clone());
+    runtime.set_update_period(60.0);
+    for _ in 0..30 {
+        let input = PolicyInput::from_micro(link.micro()).with_load(4.0);
+        let _ = runtime.tick(&mut link, &input, 60.0);
+        link.step(4.0, 0.0, 60.0);
+    }
+
+    assert!(link.stats().dropped >= 1, "link dropped nothing");
+    let rec = recorder.lock().unwrap();
+    assert!(
+        rec.dump()
+            .iter()
+            .any(|e| matches!(e.event, ObsEvent::FaultInjection { .. })),
+        "no fault-injection events from the lossy link"
+    );
+}
+
+/// Telemetry attached as a bus sink records the same series the scheduler
+/// callback would.
+#[test]
+fn telemetry_sink_matches_callback_capture() {
+    let mut micro_a = hybrid_pack();
+    let mut micro_b = hybrid_pack();
+    let mut rt_a = SdbRuntime::new(2);
+    let mut rt_b = SdbRuntime::new(2);
+
+    // A: classic callback capture.
+    let mut callback_tel = Telemetry::new();
+    let _ = sdb::core::scheduler::run_trace_observed(
+        &mut micro_a,
+        &mut rt_a,
+        &Trace::constant(4.0, 1800.0),
+        &SimOptions::default(),
+        |t, report| callback_tel.observe(t, report),
+    );
+
+    // B: event-bus sink capture.
+    let obs = Observer::new();
+    let bus_tel = Telemetry::shared(0.0);
+    obs.add_sink(Box::new(bus_tel.clone()));
+    micro_b.set_observer(obs.clone());
+    rt_b.set_observer(obs);
+    let _ = run_trace(
+        &mut micro_b,
+        &mut rt_b,
+        &Trace::constant(4.0, 1800.0),
+        &SimOptions::default(),
+    );
+
+    let bus_tel = bus_tel.lock().unwrap();
+    assert_eq!(bus_tel.rows().len(), callback_tel.rows().len());
+    for (a, b) in callback_tel.rows().iter().zip(bus_tel.rows()) {
+        assert_eq!(a.t_s, b.t_s);
+        assert_eq!(a.soc, b.soc);
+        assert_eq!(a.load_w, b.load_w);
+    }
+}
+
+/// An instrumented run and an uninstrumented run produce bit-identical
+/// physics: observability is observation only.
+#[test]
+fn observability_does_not_perturb_simulation() {
+    let run = |observed: bool| {
+        let mut micro = hybrid_pack();
+        let mut runtime = SdbRuntime::new(2);
+        if observed {
+            let obs = Observer::new();
+            obs.add_sink(Box::new(FlightRecorder::shared(1024)));
+            micro.set_observer(obs.clone());
+            runtime.set_observer(obs);
+        }
+        let sim = run_trace(
+            &mut micro,
+            &mut runtime,
+            &Trace::constant(6.0, 3600.0),
+            &SimOptions::default(),
+        );
+        (
+            sim.supplied_j,
+            sim.total_loss_j(),
+            micro.cells().iter().map(|c| c.soc()).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(false), run(true));
+}
