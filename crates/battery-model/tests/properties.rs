@@ -1,55 +1,64 @@
-//! Property-based tests for the battery-model substrate.
+//! Property-based tests for the battery-model substrate (sdb-testkit
+//! seeded-case harness).
 
-use proptest::prelude::*;
 use sdb_battery_model::aging::CycleCounter;
 use sdb_battery_model::chemistry::Chemistry;
 use sdb_battery_model::curves::Curve;
 use sdb_battery_model::spec::BatterySpec;
 use sdb_battery_model::thevenin::TheveninCell;
+use sdb_testkit::{check, Gen};
 
-fn arb_chemistry() -> impl Strategy<Value = Chemistry> {
-    prop::sample::select(Chemistry::ALL.to_vec())
+fn arb_chemistry(g: &mut Gen) -> Chemistry {
+    g.pick(&Chemistry::ALL)
 }
 
-proptest! {
-    /// Curve evaluation is always within the knot y range.
-    #[test]
-    fn curve_eval_within_bounds(
-        ys in prop::collection::vec(-100.0f64..100.0, 2..20),
-        x in -10.0f64..10.0,
-    ) {
-        let pts: Vec<(f64, f64)> = ys.iter().enumerate()
-            .map(|(i, &y)| (i as f64 * 0.37, y)).collect();
+/// Curve evaluation is always within the knot y range.
+#[test]
+fn curve_eval_within_bounds() {
+    check(256, 0xB41_0001, |g| {
+        let ys = g.vec_f64(-100.0, 100.0, 2..20);
+        let x = g.f64_range(-10.0, 10.0);
+        let pts: Vec<(f64, f64)> = ys
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| (i as f64 * 0.37, y))
+            .collect();
         let c = Curve::new(pts).unwrap();
         let v = c.eval(x);
-        prop_assert!(v >= c.y_min() - 1e-9 && v <= c.y_max() + 1e-9);
-    }
+        assert!(v >= c.y_min() - 1e-9 && v <= c.y_max() + 1e-9);
+    });
+}
 
-    /// Inverting a strictly monotone curve round-trips through eval.
-    #[test]
-    fn curve_invert_roundtrip(
-        deltas in prop::collection::vec(0.01f64..5.0, 2..12),
-        t in 0.0f64..1.0,
-    ) {
+/// Inverting a strictly monotone curve round-trips through eval.
+#[test]
+fn curve_invert_roundtrip() {
+    check(256, 0xB41_0002, |g| {
+        let deltas = g.vec_f64(0.01, 5.0, 2..12);
+        let t = g.f64_range(0.0, 1.0);
         let mut y = 0.0;
-        let pts: Vec<(f64, f64)> = deltas.iter().enumerate().map(|(i, d)| {
-            y += d;
-            (i as f64, y)
-        }).collect();
+        let pts: Vec<(f64, f64)> = deltas
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                y += d;
+                (i as f64, y)
+            })
+            .collect();
         let c = Curve::new(pts).unwrap();
         let target = c.y_min() + t * (c.y_max() - c.y_min());
         let x = c.invert(target).unwrap();
-        prop_assert!((c.eval(x) - target).abs() < 1e-6);
-    }
+        assert!((c.eval(x) - target).abs() < 1e-6);
+    });
+}
 
-    /// SoC stays in [0, 1] under any bounded current sequence, and charge
-    /// bookkeeping is exact coulomb counting when no boundary is hit.
-    #[test]
-    fn soc_invariant_under_random_loads(
-        chem in arb_chemistry(),
-        start in 0.0f64..1.0,
-        loads in prop::collection::vec(-1.0f64..1.0, 1..60),
-    ) {
+/// SoC stays in [0, 1] under any bounded current sequence, and charge
+/// bookkeeping is exact coulomb counting when no boundary is hit.
+#[test]
+fn soc_invariant_under_random_loads() {
+    check(256, 0xB41_0003, |g| {
+        let chem = arb_chemistry(g);
+        let start = g.f64_range(0.0, 1.0);
+        let loads = g.vec_f64(-1.0, 1.0, 1..60);
         let spec = BatterySpec::from_chemistry("p", chem, 2.0);
         let max_d = spec.max_discharge_a;
         let max_c = spec.max_charge_a;
@@ -57,48 +66,51 @@ proptest! {
         for l in loads {
             let i = if l >= 0.0 { l * max_d } else { l * max_c };
             let _ = cell.step_current(i, 5.0);
-            prop_assert!((0.0..=1.0).contains(&cell.soc()));
+            assert!((0.0..=1.0).contains(&cell.soc()));
         }
-    }
+    });
+}
 
-    /// Coulomb conservation: discharging then recharging the same coulombs
-    /// returns the cell to its starting SoC (modulo fade, which only shrinks
-    /// capacity after full cycles — excluded here by small throughput).
-    #[test]
-    fn coulomb_roundtrip(
-        chem in arb_chemistry(),
-        amps in 0.05f64..0.3,
-        seconds in 1.0f64..200.0,
-    ) {
+/// Coulomb conservation: discharging then recharging the same coulombs
+/// returns the cell to its starting SoC (modulo fade, which only shrinks
+/// capacity after full cycles — excluded here by small throughput).
+#[test]
+fn coulomb_roundtrip() {
+    check(256, 0xB41_0004, |g| {
+        let chem = arb_chemistry(g);
+        let amps = g.f64_range(0.05, 0.3);
+        let seconds = g.f64_range(1.0, 200.0);
         let spec = BatterySpec::from_chemistry("p", chem, 2.0);
         let mut cell = TheveninCell::with_soc(spec, 0.6);
         cell.step_current(amps, seconds).unwrap();
         cell.step_current(-amps, seconds).unwrap();
-        prop_assert!((cell.soc() - 0.6).abs() < 1e-9);
-    }
+        assert!((cell.soc() - 0.6).abs() < 1e-9);
+    });
+}
 
-    /// Heat is never negative and grows with the square of current.
-    #[test]
-    fn heat_positive_and_superlinear(
-        chem in arb_chemistry(),
-        amps in 0.1f64..1.0,
-    ) {
+/// Heat is never negative and grows with the square of current.
+#[test]
+fn heat_positive_and_superlinear() {
+    check(256, 0xB41_0005, |g| {
+        let chem = arb_chemistry(g);
+        let amps = g.f64_range(0.1, 1.0);
         let spec = BatterySpec::from_chemistry("p", chem, 2.0);
         let mut a = TheveninCell::with_soc(spec.clone(), 0.8);
         let mut b = TheveninCell::with_soc(spec, 0.8);
         let out1 = a.step_current(amps, 1.0).unwrap();
         let out2 = b.step_current(2.0 * amps, 1.0).unwrap();
-        prop_assert!(out1.heat_w >= 0.0);
+        assert!(out1.heat_w >= 0.0);
         // Ohmic part quadruples; RC transient softens it, so require > 2x.
-        prop_assert!(out2.heat_w > 2.0 * out1.heat_w);
-    }
+        assert!(out2.heat_w > 2.0 * out1.heat_w);
+    });
+}
 
-    /// Cycle counting: total cycles over any charge sequence equals
-    /// floor(total / 0.8) within one cycle.
-    #[test]
-    fn cycle_count_matches_total_charge(
-        fracs in prop::collection::vec(0.0f64..0.5, 1..50),
-    ) {
+/// Cycle counting: total cycles over any charge sequence equals
+/// floor(total / 0.8) within one cycle.
+#[test]
+fn cycle_count_matches_total_charge() {
+    check(256, 0xB41_0006, |g| {
+        let fracs = g.vec_f64(0.0, 0.5, 1..50);
         let mut cc = CycleCounter::new();
         let mut total = 0.0;
         let mut counted = 0;
@@ -107,40 +119,42 @@ proptest! {
             counted += cc.on_charge(*f);
         }
         let expected = (total / 0.8).floor() as i64;
-        prop_assert!((i64::from(counted) - expected).abs() <= 1);
-        prop_assert_eq!(counted, cc.cycles());
-    }
+        assert!((i64::from(counted) - expected).abs() <= 1);
+        assert_eq!(counted, cc.cycles());
+    });
+}
 
-    /// Terminal voltage under discharge is always below OCV; above under
-    /// charge.
-    #[test]
-    fn voltage_ordering(
-        chem in arb_chemistry(),
-        soc in 0.1f64..0.9,
-        frac in 0.05f64..0.9,
-    ) {
+/// Terminal voltage under discharge is always below OCV; above under
+/// charge.
+#[test]
+fn voltage_ordering() {
+    check(256, 0xB41_0007, |g| {
+        let chem = arb_chemistry(g);
+        let soc = g.f64_range(0.1, 0.9);
+        let frac = g.f64_range(0.05, 0.9);
         let spec = BatterySpec::from_chemistry("p", chem, 2.0);
         let i_d = frac * spec.max_discharge_a;
         let i_c = -frac * spec.max_charge_a;
         let cell = TheveninCell::with_soc(spec, soc);
         let ocv = cell.ocv();
-        prop_assert!(cell.terminal_voltage(i_d) < ocv);
-        prop_assert!(cell.terminal_voltage(i_c) > ocv);
-    }
+        assert!(cell.terminal_voltage(i_d) < ocv);
+        assert!(cell.terminal_voltage(i_c) > ocv);
+    });
+}
 
-    /// `current_for_power` and `step_power` agree with the quadratic model:
-    /// delivered power matches the request for feasible discharge loads.
-    #[test]
-    fn power_solve_consistent(
-        chem in arb_chemistry(),
-        soc in 0.3f64..1.0,
-        frac in 0.05f64..0.5,
-    ) {
+/// `current_for_power` and `step_power` agree with the quadratic model:
+/// delivered power matches the request for feasible discharge loads.
+#[test]
+fn power_solve_consistent() {
+    check(256, 0xB41_0008, |g| {
+        let chem = arb_chemistry(g);
+        let soc = g.f64_range(0.3, 1.0);
+        let frac = g.f64_range(0.05, 0.5);
         let spec = BatterySpec::from_chemistry("p", chem, 2.0);
         let cell = TheveninCell::with_soc(spec, soc);
         let p = frac * cell.max_power_w();
         let i = cell.current_for_power(p).unwrap();
         let v = cell.terminal_voltage(i);
-        prop_assert!((v * i - p).abs() < 1e-6 * p.max(1.0));
-    }
+        assert!((v * i - p).abs() < 1e-6 * p.max(1.0));
+    });
 }

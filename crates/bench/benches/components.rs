@@ -2,10 +2,10 @@
 //! Microbenchmarks of the hot paths: cell stepping, policy allocation,
 //! packet scheduling, and full emulator steps.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use sdb_battery_model::chemistry::Chemistry;
 use sdb_battery_model::spec::BatterySpec;
 use sdb_battery_model::thevenin::TheveninCell;
+use sdb_bench::harness::Harness;
 use sdb_core::policy::{rbl_discharge, PolicyInput};
 use sdb_core::runtime::SdbRuntime;
 use sdb_emulator::micro::Microcontroller;
@@ -28,103 +28,67 @@ fn pack() -> Microcontroller {
         .build()
 }
 
-fn bench_cell_step(c: &mut Criterion) {
-    c.bench_function("thevenin_cell_step_current", |b| {
-        b.iter_batched(
-            || {
-                TheveninCell::with_soc(
-                    BatterySpec::from_chemistry("x", Chemistry::Type2CoStandard, 4.0),
-                    0.8,
-                )
-            },
-            |mut cell| {
-                for _ in 0..100 {
-                    black_box(cell.step_current(2.0, 1.0).expect("feasible"));
-                }
-                cell
-            },
-            BatchSize::SmallInput,
-        );
-    });
-    c.bench_function("thevenin_cell_step_power", |b| {
-        b.iter_batched(
-            || {
-                TheveninCell::with_soc(
-                    BatterySpec::from_chemistry("x", Chemistry::Type2CoStandard, 4.0),
-                    0.8,
-                )
-            },
-            |mut cell| {
-                for _ in 0..100 {
-                    black_box(cell.step_power(5.0, 1.0).expect("feasible"));
-                }
-                cell
-            },
-            BatchSize::SmallInput,
-        );
-    });
+fn fresh_cell() -> TheveninCell {
+    TheveninCell::with_soc(
+        BatterySpec::from_chemistry("x", Chemistry::Type2CoStandard, 4.0),
+        0.8,
+    )
 }
 
-fn bench_policy(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
+
+    h.bench_batched("thevenin_cell_step_current_x100", fresh_cell, |mut cell| {
+        for _ in 0..100 {
+            black_box(cell.step_current(2.0, 1.0).expect("feasible"));
+        }
+        cell
+    });
+    h.bench_batched("thevenin_cell_step_power_x100", fresh_cell, |mut cell| {
+        for _ in 0..100 {
+            black_box(cell.step_power(5.0, 1.0).expect("feasible"));
+        }
+        cell
+    });
+
     let micro = pack();
     let input = PolicyInput::from_micro(&micro).with_load(10.0);
-    c.bench_function("rbl_discharge_allocation", |b| {
-        b.iter(|| black_box(rbl_discharge(black_box(&input)).expect("feasible")));
+    h.bench("rbl_discharge_allocation", || {
+        black_box(rbl_discharge(black_box(&input)).expect("feasible"))
     });
-    c.bench_function("policy_input_from_micro", |b| {
-        b.iter(|| black_box(PolicyInput::from_micro(black_box(&micro))));
+    h.bench("policy_input_from_micro", || {
+        black_box(PolicyInput::from_micro(black_box(&micro)))
     });
-}
 
-fn bench_scheduler(c: &mut Criterion) {
-    c.bench_function("packet_scheduler_10k_packets", |b| {
-        b.iter_batched(
-            || PacketScheduler::new(&[0.3, 0.5, 0.2], 16_384).expect("valid"),
-            |mut s| {
-                for _ in 0..10_000 {
-                    black_box(s.next_packet());
-                }
-                s
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
+    h.bench_batched(
+        "packet_scheduler_10k_packets",
+        || PacketScheduler::new(&[0.3, 0.5, 0.2], 16_384).expect("valid"),
+        |mut s| {
+            for _ in 0..10_000 {
+                black_box(s.next_packet());
+            }
+            s
+        },
+    );
 
-fn bench_emulator(c: &mut Criterion) {
-    c.bench_function("microcontroller_step", |b| {
-        b.iter_batched(
-            pack,
-            |mut m| {
-                for _ in 0..50 {
-                    black_box(m.step(8.0, 0.0, 1.0));
-                }
-                m
-            },
-            BatchSize::SmallInput,
-        );
+    h.bench_batched("microcontroller_step_x50", pack, |mut m| {
+        for _ in 0..50 {
+            black_box(m.step(8.0, 0.0, 1.0));
+        }
+        m
     });
-    c.bench_function("runtime_tick_plus_step", |b| {
-        b.iter_batched(
-            || (pack(), SdbRuntime::new(2)),
-            |(mut m, mut rt)| {
-                for _ in 0..50 {
-                    let input = PolicyInput::from_micro(&m).with_load(8.0);
-                    rt.tick(&mut m, &input, 60.0).expect("accepted");
-                    black_box(m.step(8.0, 0.0, 60.0));
-                }
-                (m, rt)
-            },
-            BatchSize::SmallInput,
-        );
-    });
-}
+    h.bench_batched(
+        "runtime_tick_plus_step_x50",
+        || (pack(), SdbRuntime::new(2)),
+        |(mut m, mut rt)| {
+            for _ in 0..50 {
+                let input = PolicyInput::from_micro(&m).with_load(8.0);
+                rt.tick(&mut m, &input, 60.0).expect("accepted");
+                black_box(m.step(8.0, 0.0, 60.0));
+            }
+            (m, rt)
+        },
+    );
 
-criterion_group!(
-    benches,
-    bench_cell_step,
-    bench_policy,
-    bench_scheduler,
-    bench_emulator
-);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,52 +1,36 @@
 #![allow(missing_docs)]
-//! One Criterion bench per paper table/figure: measures the cost of
-//! regenerating each artifact end-to-end (the regeneration itself asserts
-//! nothing — shape checks live in the unit/integration tests).
+//! One bench per paper table/figure: measures the cost of regenerating
+//! each artifact end-to-end (the regeneration itself asserts nothing —
+//! shape checks live in the unit/integration tests).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sdb_bench::experiments::*;
+use sdb_bench::harness::Harness;
 use std::hint::black_box;
-use std::time::Duration;
 
-fn quick(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_quick");
-    g.bench_function("table1", |b| b.iter(|| black_box(tables::render_table1())));
-    g.bench_function("table2", |b| b.iter(|| black_box(tables::render_table2())));
-    g.bench_function("fig1a", |b| b.iter(|| black_box(fig1::render_fig1a())));
-    g.bench_function("fig1b", |b| b.iter(|| black_box(fig1::render_fig1b())));
-    g.bench_function("fig1c", |b| b.iter(|| black_box(fig1::render_fig1c())));
-    g.bench_function("fig6a", |b| b.iter(|| black_box(fig6::render_fig6a())));
-    g.bench_function("fig6b", |b| b.iter(|| black_box(fig6::render_fig6b())));
-    g.bench_function("fig6c", |b| b.iter(|| black_box(fig6::render_fig6c())));
-    g.bench_function("fig6d", |b| b.iter(|| black_box(fig6::render_fig6d())));
-    g.bench_function("fig8b", |b| b.iter(|| black_box(fig8::render_fig8b())));
-    g.bench_function("fig8c", |b| b.iter(|| black_box(fig8::render_fig8c())));
-    g.bench_function("fig11a", |b| b.iter(|| black_box(fig11::render_fig11a())));
-    g.bench_function("fig11c", |b| b.iter(|| black_box(fig11::render_fig11c())));
-    g.finish();
+fn main() {
+    let mut h = Harness::from_args();
+
+    h.bench("table1", || black_box(tables::render_table1()));
+    h.bench("table2", || black_box(tables::render_table2()));
+    h.bench("fig1a", || black_box(fig1::render_fig1a()));
+    h.bench("fig1b", || black_box(fig1::render_fig1b()));
+    h.bench("fig1c", || black_box(fig1::render_fig1c()));
+    h.bench("fig6a", || black_box(fig6::render_fig6a()));
+    h.bench("fig6b", || black_box(fig6::render_fig6b()));
+    h.bench("fig6c", || black_box(fig6::render_fig6c()));
+    h.bench("fig6d", || black_box(fig6::render_fig6d()));
+    h.bench("fig8b", || black_box(fig8::render_fig8b()));
+    h.bench("fig8c", || black_box(fig8::render_fig8c()));
+    h.bench("fig11a", || black_box(fig11::render_fig11a()));
+    h.bench("fig11c", || black_box(fig11::render_fig11c()));
+
+    // End-to-end multi-simulation jobs: one run per sample.
+    h.bench_heavy("fig10", || black_box(fig10::fig10_reports()));
+    h.bench_heavy("fig11b", || black_box(fig11::fig11b_curves()));
+    h.bench_heavy("fig12", || black_box(fig12::fig12_rows()));
+    h.bench_heavy("fig13", || black_box(fig13::fig13_outcomes()));
+    h.bench_heavy("fig14", || black_box(fig14::fig14_rows()));
+    h.bench_heavy("ablations", || black_box(ablations::render_ablations()));
+
+    h.finish();
 }
-
-fn heavy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_heavy");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(20));
-    g.bench_function("fig10", |b| b.iter(|| black_box(fig10::fig10_reports())));
-    g.bench_function("fig11b", |b| b.iter(|| black_box(fig11::fig11b_curves())));
-    g.bench_function("fig12", |b| b.iter(|| black_box(fig12::fig12_rows())));
-    g.bench_function("fig13", |b| b.iter(|| black_box(fig13::fig13_outcomes())));
-    g.finish();
-
-    // Figure 14 runs 16 multi-day simulations; keep it to a bare minimum
-    // of samples.
-    let mut g = c.benchmark_group("paper_very_heavy");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(60));
-    g.bench_function("fig14", |b| b.iter(|| black_box(fig14::fig14_rows())));
-    g.bench_function("ablations", |b| {
-        b.iter(|| black_box(ablations::render_ablations()))
-    });
-    g.finish();
-}
-
-criterion_group!(benches, quick, heavy);
-criterion_main!(benches);

@@ -1,15 +1,25 @@
 #![allow(missing_docs)]
-//! Scaling benches: how policy allocation and emulation cost grow with the
-//! number of batteries in the pack (the paper's hardware argument is that
-//! SDB's charging circuit is `O(N)`; the software must scale too).
+//! Scaling benches.
+//!
+//! Two axes: how policy allocation and emulation cost grow with the number
+//! of batteries in the pack (the paper's hardware argument is that SDB's
+//! charging circuit is `O(N)`; the software must scale too), and how fleet
+//! simulation throughput grows with worker threads (the sdb-fleet engine's
+//! scaling contract). The fleet section writes its measurements to
+//! `BENCH_fleet.json` at the repository root (override the path with
+//! `SDB_BENCH_FLEET_OUT`) and cross-checks that every thread count
+//! produced a bit-identical `FleetReport`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sdb_battery_model::chemistry::Chemistry;
 use sdb_battery_model::spec::BatterySpec;
+use sdb_bench::harness::{format_ns, Harness};
 use sdb_core::policy::{rbl_discharge, PolicyInput};
 use sdb_emulator::micro::Microcontroller;
 use sdb_emulator::pack::PackBuilder;
 use sdb_emulator::profile::ProfileKind;
+use sdb_fleet::run_fleet;
+use sdb_fleet::spec::FleetSpec;
+use std::fmt::Write as _;
 use std::hint::black_box;
 
 fn pack_of(n: usize) -> Microcontroller {
@@ -30,45 +40,120 @@ fn pack_of(n: usize) -> Microcontroller {
     b.build()
 }
 
-fn bench_policy_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rbl_discharge_vs_pack_size");
+fn bench_pack_size_scaling(h: &mut Harness) {
     for n in [2usize, 4, 8, 16, 32] {
         let micro = pack_of(n);
         let input = PolicyInput::from_micro(&micro).with_load(4.0 * n as f64);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
-            b.iter(|| black_box(rbl_discharge(black_box(input)).expect("feasible")));
+        h.bench(&format!("rbl_discharge_vs_pack_size/{n}"), || {
+            black_box(rbl_discharge(black_box(&input)).expect("feasible"))
         });
     }
-    g.finish();
-}
-
-fn bench_step_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro_step_vs_pack_size");
     for n in [2usize, 4, 8, 16, 32] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let mut micro = pack_of(n);
-            let load = 3.0 * n as f64;
-            b.iter(|| black_box(micro.step(load, 0.0, 1.0)));
-        });
+        h.bench_batched(
+            &format!("micro_step_vs_pack_size/{n}"),
+            || pack_of(n),
+            |mut micro| {
+                let load = 3.0 * n as f64;
+                for _ in 0..10 {
+                    black_box(micro.step(load, 0.0, 1.0));
+                }
+                micro
+            },
+        );
     }
-    g.finish();
-}
-
-fn bench_query_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("query_battery_status_vs_pack_size");
     for n in [2usize, 8, 32] {
         let micro = pack_of(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &micro, |b, micro| {
-            b.iter(|| black_box(micro.query_battery_status()));
+        h.bench(&format!("query_battery_status_vs_pack_size/{n}"), || {
+            black_box(micro.query_battery_status())
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_policy_scaling,
-    bench_step_scaling,
-    bench_query_scaling
-);
-criterion_main!(benches);
+/// Measures fleet throughput (devices/sec) against worker-thread count and
+/// writes `BENCH_fleet.json`. Also asserts the engine's core contract
+/// while it has the data in hand: every thread count yields the same
+/// report bytes.
+fn bench_fleet_scaling(quick: bool) {
+    let devices: usize = std::env::var("SDB_BENCH_FLEET_DEVICES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 64 } else { 512 });
+    let hours = 2.0;
+    let spec = FleetSpec::default_population(devices, 0xF1EE7).with_hours(hours);
+    let thread_counts = [1usize, 2, 4, 8];
+
+    println!("\nfleet_scaling: {devices} devices x {hours} h trace");
+    let mut rows = Vec::new();
+    let mut baseline_json: Option<String> = None;
+    for &threads in &thread_counts {
+        // Warm once (page/alloc effects), then take the best of 3 runs.
+        let mut best: Option<(f64, f64)> = None;
+        let runs = if quick { 1 } else { 3 };
+        for _ in 0..runs {
+            let (report, stats) = run_fleet(&spec, threads).expect("fleet run");
+            let json = report.to_json();
+            match &baseline_json {
+                None => baseline_json = Some(json),
+                Some(b) => assert_eq!(*b, json, "FleetReport changed with thread count {threads}"),
+            }
+            if best.is_none_or(|(w, _)| stats.wall_s < w) {
+                best = Some((stats.wall_s, stats.devices_per_sec));
+            }
+        }
+        let (wall_s, dps) = best.expect("at least one run");
+        println!(
+            "  threads={threads:<2} wall={:<12} {dps:.0} devices/sec",
+            format_ns(wall_s * 1e9)
+        );
+        rows.push((threads, wall_s, dps));
+    }
+
+    let dps_1 = rows[0].2;
+    let dps_8 = rows.last().expect("rows nonempty").2;
+    let speedup = dps_8 / dps_1;
+    println!("  speedup {}t vs 1t: {speedup:.2}x", rows.last().unwrap().0);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"fleet_scaling\",\"devices\":{devices},\"trace_hours\":{hours:?},\"master_seed\":{},\"bit_identical_reports\":true,\"threads\":[",
+        0xF1EE7
+    );
+    for (i, (threads, wall_s, dps)) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "{{\"threads\":{threads},\"wall_s\":{wall_s:?},\"devices_per_sec\":{dps:?}}}"
+        );
+    }
+    let _ = write!(
+        json,
+        "],\"speedup_max_threads_vs_1\":{speedup:?},\"host_cpus\":{}}}",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    );
+
+    let path = std::env::var("SDB_BENCH_FLEET_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_fleet.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  wrote {path}"),
+        Err(e) => eprintln!("  failed to write {path}: {e}"),
+    }
+}
+
+fn main() {
+    let quick = std::env::var("SDB_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+
+    let mut h = Harness::from_args();
+    bench_pack_size_scaling(&mut h);
+    h.finish();
+
+    if filter
+        .as_ref()
+        .is_none_or(|f| "fleet_scaling".contains(f.as_str()))
+    {
+        bench_fleet_scaling(quick);
+    }
+}

@@ -3,11 +3,13 @@
 //! Every table and figure in the paper's evaluation has a module under
 //! [`experiments`] that recomputes its rows/series from the live system and
 //! renders them as text. The `figures` binary prints any (or all) of them;
-//! the Criterion benches in `benches/` measure the performance of the
-//! underlying machinery; `EXPERIMENTS.md` is generated from the same code
+//! the benches in `benches/` (driven by the in-repo [`harness`]) measure
+//! the performance of the underlying machinery and the fleet engine's
+//! thread scaling; `EXPERIMENTS.md` is generated from the same code
 //! by the `paper` binary, so the document can never drift from the code.
 
 pub mod experiments;
+pub mod harness;
 pub mod output;
 pub mod table;
 

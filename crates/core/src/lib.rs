@@ -90,3 +90,19 @@ pub use policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolic
 pub use predict::UsagePredictor;
 pub use runtime::SdbRuntime;
 pub use scheduler::{run_trace, SimOptions, SimResult};
+
+/// Compile-time guarantee that the whole simulation stack can be moved
+/// across threads. The sdb-fleet engine runs one `(Microcontroller,
+/// SdbRuntime)` pair per device on scoped worker threads; if any of these
+/// types ever grows a non-`Send` member (an `Rc`, a raw pointer, a
+/// thread-local handle), this module stops the build right here rather
+/// than erroring deep inside the fleet crate.
+mod send_assertions {
+    const fn assert_send<T: Send>() {}
+    const _: () = assert_send::<crate::runtime::SdbRuntime>();
+    const _: () = assert_send::<crate::scheduler::SimResult>();
+    const _: () = assert_send::<crate::scheduler::SimOptions>();
+    const _: () = assert_send::<crate::policy::PolicyInput>();
+    const _: () = assert_send::<sdb_emulator::micro::Microcontroller>();
+    const _: () = assert_send::<sdb_workloads::Trace>();
+}

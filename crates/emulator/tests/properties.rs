@@ -1,20 +1,25 @@
 //! Property-based tests for the emulator: energy conservation, ratio
-//! enforcement, and robustness to arbitrary step sequences.
+//! enforcement, and robustness to arbitrary step sequences (sdb-testkit
+//! seeded-case harness).
 
-use proptest::prelude::*;
 use sdb_battery_model::chemistry::Chemistry;
 use sdb_battery_model::spec::BatterySpec;
 use sdb_emulator::micro::Microcontroller;
 use sdb_emulator::pack::PackBuilder;
 use sdb_emulator::profile::ProfileKind;
+use sdb_testkit::{check, Gen};
 
-fn arb_chemistry() -> impl Strategy<Value = Chemistry> {
-    prop::sample::select(vec![
+fn arb_chemistry(g: &mut Gen) -> Chemistry {
+    g.pick(&[
         Chemistry::Type1LfpPower,
         Chemistry::Type2CoStandard,
         Chemistry::Type3CoPower,
         Chemistry::Type4Bendable,
     ])
+}
+
+fn arb_pack(g: &mut Gen, soc_lo: f64) -> Vec<(Chemistry, f64)> {
+    g.vec_with(1..4, |g| (arb_chemistry(g), g.f64_range(soc_lo, 1.0)))
 }
 
 fn build_pack(chems: &[(Chemistry, f64)]) -> Microcontroller {
@@ -29,18 +34,14 @@ fn build_pack(chems: &[(Chemistry, f64)]) -> Microcontroller {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// **Energy conservation**: over any sequence of load/charge steps, the
-    /// energy delivered to the load plus all losses never exceeds the
-    /// chemical energy drawn from the cells plus the external energy
-    /// consumed.
-    #[test]
-    fn no_energy_created(
-        chems in prop::collection::vec((arb_chemistry(), 0.1f64..1.0), 1..4),
-        steps in prop::collection::vec((0.0f64..15.0, 0.0f64..20.0), 1..40),
-    ) {
+/// **Energy conservation**: over any sequence of load/charge steps, the
+/// energy delivered to the load plus all losses never exceeds the chemical
+/// energy drawn from the cells plus the external energy consumed.
+#[test]
+fn no_energy_created() {
+    check(64, 0xE0_0001, |g| {
+        let chems = arb_pack(g, 0.1);
+        let steps = g.vec_with(1..40, |g| (g.f64_range(0.0, 15.0), g.f64_range(0.0, 20.0)));
         let mut m = build_pack(&chems);
         for (load_w, external_w) in steps {
             m.step(load_w, external_w, 30.0);
@@ -55,43 +56,49 @@ proptest! {
         // the RC transient energy parked in plate capacitances).
         let lhs = delivered + circuit_loss + cell_heat;
         let rhs = chem_net + external_in;
-        prop_assert!(
-            lhs <= rhs * 1.01 + 1.0,
-            "created energy: {lhs} > {rhs}"
-        );
-    }
+        assert!(lhs <= rhs * 1.01 + 1.0, "created energy: {lhs} > {rhs}");
+    });
+}
 
-    /// The load is either served or reported unmet — never silently lost.
-    #[test]
-    fn load_fully_accounted(
-        chems in prop::collection::vec((arb_chemistry(), 0.0f64..1.0), 1..4),
-        load in 0.1f64..25.0,
-    ) {
+/// The load is either served or reported unmet — never silently lost.
+#[test]
+fn load_fully_accounted() {
+    check(64, 0xE0_0002, |g| {
+        let chems = arb_pack(g, 0.0);
+        let load = g.f64_range(0.1, 25.0);
         let mut m = build_pack(&chems);
         let r = m.step(load, 0.0, 60.0);
-        prop_assert!((r.supplied_w + r.unmet_w - load).abs() < 1e-6,
-            "supplied {} + unmet {} != load {load}", r.supplied_w, r.unmet_w);
-    }
+        assert!(
+            (r.supplied_w + r.unmet_w - load).abs() < 1e-6,
+            "supplied {} + unmet {} != load {load}",
+            r.supplied_w,
+            r.unmet_w
+        );
+    });
+}
 
-    /// SoC never leaves [0, 1] under any mix of loads and charging.
-    #[test]
-    fn soc_bounds_hold(
-        chems in prop::collection::vec((arb_chemistry(), 0.0f64..1.0), 1..4),
-        steps in prop::collection::vec((0.0f64..10.0, 0.0f64..30.0), 1..30),
-    ) {
+/// SoC never leaves [0, 1] under any mix of loads and charging.
+#[test]
+fn soc_bounds_hold() {
+    check(64, 0xE0_0003, |g| {
+        let chems = arb_pack(g, 0.0);
+        let steps = g.vec_with(1..30, |g| (g.f64_range(0.0, 10.0), g.f64_range(0.0, 30.0)));
         let mut m = build_pack(&chems);
         for (load_w, external_w) in steps {
             m.step(load_w, external_w, 60.0);
             for c in m.cells() {
-                prop_assert!((0.0..=1.0).contains(&c.soc()));
+                assert!((0.0..=1.0).contains(&c.soc()));
             }
         }
-    }
+    });
+}
 
-    /// Ratio enforcement: with both batteries healthy and within limits,
-    /// the realized power split tracks the requested discharge ratios.
-    #[test]
-    fn discharge_ratio_tracks_setpoint(share in 0.05f64..0.95) {
+/// Ratio enforcement: with both batteries healthy and within limits, the
+/// realized power split tracks the requested discharge ratios.
+#[test]
+fn discharge_ratio_tracks_setpoint() {
+    check(64, 0xE0_0004, |g| {
+        let share = g.f64_range(0.05, 0.95);
         let mut m = build_pack(&[
             (Chemistry::Type2CoStandard, 0.9),
             (Chemistry::Type2CoStandard, 0.9),
@@ -101,16 +108,19 @@ proptest! {
         let p0 = r.batteries[0].current_a * r.batteries[0].terminal_v;
         let p1 = r.batteries[1].current_a * r.batteries[1].terminal_v;
         let realized = p0 / (p0 + p1);
-        prop_assert!((realized - share).abs() < 0.02,
-            "requested {share}, realized {realized}");
-    }
+        assert!(
+            (realized - share).abs() < 0.02,
+            "requested {share}, realized {realized}"
+        );
+    });
+}
 
-    /// Gauge estimates stay within 3 % of ground truth over arbitrary
-    /// medium-length runs.
-    #[test]
-    fn gauges_track_truth(
-        steps in prop::collection::vec((0.0f64..8.0, 0.0f64..15.0), 1..40),
-    ) {
+/// Gauge estimates stay within 3 % of ground truth over arbitrary
+/// medium-length runs.
+#[test]
+fn gauges_track_truth() {
+    check(64, 0xE0_0005, |g| {
+        let steps = g.vec_with(1..40, |g| (g.f64_range(0.0, 8.0), g.f64_range(0.0, 15.0)));
         let mut m = build_pack(&[
             (Chemistry::Type2CoStandard, 0.8),
             (Chemistry::Type3CoPower, 0.8),
@@ -119,19 +129,24 @@ proptest! {
             m.step(load_w, external_w, 60.0);
         }
         for (status, cell) in m.query_battery_status().iter().zip(m.cells()) {
-            prop_assert!((status.soc - cell.soc()).abs() < 0.03,
-                "gauge {} vs truth {}", status.soc, cell.soc());
+            assert!(
+                (status.soc - cell.soc()).abs() < 0.03,
+                "gauge {} vs truth {}",
+                status.soc,
+                cell.soc()
+            );
         }
-    }
+    });
+}
 
-    /// Battery-to-battery transfer never increases total stored energy.
-    #[test]
-    fn transfer_is_dissipative(
-        src_soc in 0.5f64..1.0,
-        dst_soc in 0.0f64..0.5,
-        power in 1.0f64..6.0,
-        minutes in 1u32..30,
-    ) {
+/// Battery-to-battery transfer never increases total stored energy.
+#[test]
+fn transfer_is_dissipative() {
+    check(64, 0xE0_0006, |g| {
+        let src_soc = g.f64_range(0.5, 1.0);
+        let dst_soc = g.f64_range(0.0, 0.5);
+        let power = g.f64_range(1.0, 6.0);
+        let minutes = g.u32_range(1, 30);
         let mut m = build_pack(&[
             (Chemistry::Type2CoStandard, src_soc),
             (Chemistry::Type2CoStandard, dst_soc),
@@ -140,11 +155,12 @@ proptest! {
             m.cells().iter().map(|c| c.remaining_energy_wh()).sum()
         };
         let before = stored(&m);
-        m.charge_one_from_another(0, 1, power, f64::from(minutes) * 60.0).unwrap();
+        m.charge_one_from_another(0, 1, power, f64::from(minutes) * 60.0)
+            .unwrap();
         for _ in 0..minutes {
             m.step(0.0, 0.0, 60.0);
         }
         let after = stored(&m);
-        prop_assert!(after <= before + 1e-6, "stored grew: {before} -> {after}");
-    }
+        assert!(after <= before + 1e-6, "stored grew: {before} -> {after}");
+    });
 }

@@ -1,0 +1,289 @@
+//! The parallel fleet driver.
+//!
+//! Work distribution is a single atomic index over `0..devices`: each
+//! `std::thread::scope` worker claims the next device, runs its full
+//! simulation, and appends the outcome to a shard-local vector. Nothing is
+//! shared between shards on the hot path — each shard has its own
+//! [`Observer`] (metrics registry + span histograms), merged only after
+//! join. Because every device outcome is a pure function of
+//! `(FleetSpec, device index)` and the merge re-orders outcomes by device
+//! index, the resulting [`FleetReport`] is bit-identical for any worker
+//! count, including 1.
+
+use crate::report::FleetReport;
+use crate::spec::{FleetSpec, PolicySpec};
+use sdb_core::metrics::{ccb, wear_ratios};
+use sdb_core::policy::{DischargeDirective, PreservePolicy};
+use sdb_core::runtime::SdbRuntime;
+use sdb_core::scheduler::run_trace;
+use sdb_emulator::micro::Microcontroller;
+use sdb_emulator::pack::PackBuilder;
+use sdb_observe::{MetricsRegistry, Observer, SpanName};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The per-device result the merge aggregates. Everything here is a pure
+/// function of `(spec, device)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceOutcome {
+    /// Device index in `0..spec.devices`.
+    pub device: u64,
+    /// Index into `spec.cohorts`.
+    pub cohort: usize,
+    /// Effective battery life: time to first brownout, or the full span.
+    pub life_s: f64,
+    /// Whether the device browned out before its trace ended.
+    pub browned_out: bool,
+    /// Simulated span, seconds.
+    pub simulated_s: f64,
+    /// Energy delivered to the load, joules.
+    pub supplied_j: f64,
+    /// Load energy that went unserved, joules.
+    pub unmet_j: f64,
+    /// Circuit (power-electronics) losses, joules.
+    pub circuit_loss_j: f64,
+    /// Cell resistive heat, joules.
+    pub cell_heat_j: f64,
+    /// Cycle Count Balance of the pack at end of trace (1.0 = balanced).
+    pub wear_ccb: f64,
+    /// Mean final state of charge across the pack.
+    pub mean_final_soc: f64,
+}
+
+/// Wall-clock facts about one fleet run. Deliberately kept out of
+/// [`FleetReport`]: everything in here may differ between runs and thread
+/// counts.
+#[derive(Debug)]
+pub struct FleetRunStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole run.
+    pub wall_s: f64,
+    /// Device simulations completed per wall-clock second.
+    pub devices_per_sec: f64,
+    /// The merged per-shard registries: counter totals, gauges, and the
+    /// span latency histograms (including [`SpanName::FleetDevice`]).
+    pub registry: MetricsRegistry,
+}
+
+/// Builds and runs one device, recording into the shard's observer.
+fn run_device(spec: &FleetSpec, device: u64, obs: &Observer) -> DeviceOutcome {
+    let cohort_idx = spec.cohort_of(device);
+    let cohort = &spec.cohorts[cohort_idx];
+    let seed = spec.device_seed(device);
+
+    // Instantiate the shared pack template. The specs live behind `Arc`;
+    // cloning the inner spec here is the only per-device copy.
+    let mut builder = PackBuilder::new();
+    for slot in &cohort.pack.batteries {
+        builder = builder.battery_at((*slot.spec).clone(), slot.initial_soc, slot.profile);
+    }
+    let mut micro: Microcontroller = builder.build();
+    micro.set_observer(obs.clone());
+
+    let mut runtime = SdbRuntime::new(micro.battery_count());
+    runtime.set_observer(obs.clone());
+    runtime.set_update_period(cohort.update_period_s);
+    match cohort.policy {
+        PolicySpec::Blend(v) => runtime.set_discharge_directive(DischargeDirective::new(v)),
+        PolicySpec::Preserve {
+            efficient,
+            inefficient,
+            threshold_w,
+        } => runtime.set_preserve(Some(PreservePolicy::new(
+            efficient,
+            inefficient,
+            threshold_w,
+        ))),
+    }
+
+    let trace = cohort.workload.build(seed);
+    let result = run_trace(&mut micro, &mut runtime, &trace, &spec.sim);
+
+    let statuses = micro.query_battery_status();
+    let cycle_counts: Vec<u32> = statuses.iter().map(|s| s.cycle_count).collect();
+    let specs: Vec<&sdb_battery_model::spec::BatterySpec> =
+        micro.cells().iter().map(|c| c.spec()).collect();
+    let wear = wear_ratios(&cycle_counts, &specs);
+    let n = result.final_soc.len().max(1) as f64;
+
+    DeviceOutcome {
+        device,
+        cohort: cohort_idx,
+        life_s: result.battery_life_s(),
+        browned_out: result.first_brownout_s.is_some(),
+        simulated_s: result.simulated_s,
+        supplied_j: result.supplied_j,
+        unmet_j: result.unmet_j,
+        circuit_loss_j: result.circuit_loss_j,
+        cell_heat_j: result.cell_heat_j,
+        wear_ccb: ccb(&wear),
+        mean_final_soc: result.final_soc.iter().sum::<f64>() / n,
+    }
+}
+
+/// Runs the fleet across `threads` workers and merges the outcomes into a
+/// deterministic [`FleetReport`] plus wall-clock [`FleetRunStats`].
+///
+/// # Errors
+///
+/// Returns the spec validation error, or a message if a worker panicked.
+pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<(FleetReport, FleetRunStats), String> {
+    spec.validate()?;
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+
+    let shards: Vec<(Vec<DeviceOutcome>, Observer)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let next = &next;
+                s.spawn(move || {
+                    let obs = Observer::new();
+                    let devices_done = obs
+                        .registry()
+                        .expect("fresh observer has a registry")
+                        .counter("sdb_fleet_devices_total", &[]);
+                    // Pre-size for the even-split case; the queue handles skew.
+                    let mut outcomes = Vec::with_capacity(spec.devices / threads + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= spec.devices {
+                            break;
+                        }
+                        let span = obs.span(SpanName::FleetDevice);
+                        outcomes.push(run_device(spec, i as u64, &obs));
+                        drop(span);
+                        devices_done.inc();
+                    }
+                    (outcomes, obs)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().map_err(|_| "fleet worker panicked".to_owned()))
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+
+    // Deterministic merge: shard order and shard contents depend on
+    // scheduling, so re-establish device order before any aggregation.
+    let mut outcomes: Vec<DeviceOutcome> = Vec::with_capacity(spec.devices);
+    let merged = MetricsRegistry::new();
+    for (shard_outcomes, obs) in shards {
+        outcomes.extend(shard_outcomes);
+        if let Some(reg) = obs.registry() {
+            merged.merge_from(reg);
+        }
+    }
+    outcomes.sort_unstable_by_key(|o| o.device);
+    debug_assert!(outcomes
+        .iter()
+        .enumerate()
+        .all(|(i, o)| o.device == i as u64));
+
+    let report = FleetReport::from_outcomes(spec, &outcomes, &merged);
+    let wall_s = start.elapsed().as_secs_f64();
+    let stats = FleetRunStats {
+        threads,
+        wall_s,
+        devices_per_sec: spec.devices as f64 / wall_s.max(1e-9),
+        registry: merged,
+    };
+    Ok((report, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CohortSpec, PackTemplate, WorkloadSpec};
+    use sdb_battery_model::chemistry::Chemistry;
+    use sdb_battery_model::spec::BatterySpec;
+    use sdb_core::scheduler::SimOptions;
+    use sdb_emulator::profile::ProfileKind;
+    use sdb_workloads::traces::Trace;
+    use std::sync::Arc;
+
+    fn tiny_spec(devices: usize) -> FleetSpec {
+        FleetSpec {
+            devices,
+            master_seed: 77,
+            cohorts: vec![CohortSpec {
+                name: "tiny".to_owned(),
+                weight: 1.0,
+                pack: PackTemplate::new(vec![
+                    (
+                        BatterySpec::from_chemistry("a", Chemistry::Type2CoStandard, 2.0),
+                        1.0,
+                        ProfileKind::Standard,
+                    ),
+                    (
+                        BatterySpec::from_chemistry("b", Chemistry::Type3CoPower, 2.0),
+                        1.0,
+                        ProfileKind::Fast,
+                    ),
+                ]),
+                workload: WorkloadSpec::Shared(Arc::new(Trace::constant(5.0, 1800.0))),
+                policy: PolicySpec::Blend(0.9),
+                update_period_s: 60.0,
+            }],
+            sim: SimOptions::default(),
+        }
+    }
+
+    #[test]
+    fn engine_runs_every_device_exactly_once() {
+        let (report, stats) = run_fleet(&tiny_spec(17), 4).unwrap();
+        assert_eq!(report.devices, 17);
+        assert_eq!(stats.threads, 4);
+        // The merged fleet counter saw each device once.
+        let totals = stats.registry.counter_totals();
+        let fleet = totals
+            .iter()
+            .find(|(name, _)| name == "sdb_fleet_devices_total")
+            .expect("fleet counter present");
+        assert_eq!(fleet.1, 17);
+    }
+
+    #[test]
+    fn zero_devices_is_an_error() {
+        assert!(run_fleet(&tiny_spec(0), 2).is_err());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcomes() {
+        let spec = tiny_spec(12);
+        let (r1, _) = run_fleet(&spec, 1).unwrap();
+        let (r3, _) = run_fleet(&spec, 3).unwrap();
+        assert_eq!(r1, r3);
+        assert_eq!(r1.to_json(), r3.to_json());
+    }
+
+    #[test]
+    fn outcomes_match_a_direct_single_device_run() {
+        // Fleet of one, shared trace: identical to calling run_trace directly.
+        let spec = tiny_spec(1);
+        let (report, _) = run_fleet(&spec, 2).unwrap();
+
+        let cohort = &spec.cohorts[0];
+        let mut builder = PackBuilder::new();
+        for slot in &cohort.pack.batteries {
+            builder = builder.battery_at((*slot.spec).clone(), slot.initial_soc, slot.profile);
+        }
+        let mut micro = builder.build();
+        let mut rt = SdbRuntime::new(2);
+        rt.set_discharge_directive(DischargeDirective::new(0.9));
+        rt.set_update_period(60.0);
+        let trace = cohort.workload.build(spec.device_seed(0));
+        let direct = run_trace(&mut micro, &mut rt, &trace, &spec.sim);
+
+        assert_eq!(
+            report.life_s.mean.to_bits(),
+            direct.battery_life_s().to_bits()
+        );
+        assert_eq!(
+            report.supplied_j_total.to_bits(),
+            direct.supplied_j.to_bits()
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! `sdb-fleet`: the sharded, deterministic multi-device fleet simulation
+//! engine.
+//!
+//! The paper evaluates SDB one device at a time; a production battery
+//! runtime has to answer population questions — *what does this policy do
+//! to the p95 depletion time across ten thousand heterogeneous handsets?*
+//! This crate turns the single-device simulator into a fleet instrument:
+//!
+//! * [`spec`] — declarative fleet populations: weighted [`CohortSpec`]s
+//!   (pack template × workload × policy) sampled deterministically per
+//!   device from a master seed via SplitMix64 stream derivation.
+//! * [`engine`] — the parallel driver: device indices are handed out from
+//!   an atomic work queue to `std::thread::scope` workers, each running
+//!   the full `run_trace` simulation independently with a per-shard
+//!   metrics registry (no cross-thread contention on the hot path).
+//! * [`report`] — the deterministic merge: outcomes are re-ordered by
+//!   device index and aggregated into a [`FleetReport`] (depletion-time
+//!   percentiles, brownout rate, loss and wear distributions, per-cohort
+//!   breakdowns, merged counter totals) that is **bit-identical for any
+//!   thread count**.
+//!
+//! Determinism contract: `FleetReport` (and its JSON rendering) is a pure
+//! function of `(FleetSpec, master seed)`. Wall-clock facts — thread
+//! count, devices/sec, span latency histograms — live in
+//! [`engine::FleetRunStats`], never in the report.
+//!
+//! # Example
+//!
+//! ```
+//! use sdb_fleet::{engine::run_fleet, spec::FleetSpec};
+//!
+//! let spec = FleetSpec::default_population(64, 42).with_hours(2.0);
+//! let (report, stats) = run_fleet(&spec, 2).unwrap();
+//! assert_eq!(report.devices, 64);
+//! assert!(stats.wall_s >= 0.0);
+//! // Same spec, different shard count: bit-identical report.
+//! let (again, _) = run_fleet(&spec, 1).unwrap();
+//! assert_eq!(report.to_json(), again.to_json());
+//! ```
+
+pub mod engine;
+pub mod report;
+pub mod spec;
+
+pub use engine::{run_fleet, DeviceOutcome, FleetRunStats};
+pub use report::{CohortReport, DistSummary, FleetReport};
+pub use spec::{BatterySlot, CohortSpec, FleetSpec, PackTemplate, PolicySpec, WorkloadSpec};

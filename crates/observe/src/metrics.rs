@@ -150,6 +150,18 @@ impl Histogram {
         }
         out
     }
+
+    /// Folds `other`'s observations into this histogram (bucket counts,
+    /// count, and sum all add). Used to combine per-shard histograms after
+    /// a parallel run; merging is commutative, so shard order is
+    /// irrelevant.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.0.buckets.iter().zip(other.bucket_counts()) {
+            mine.fetch_add(theirs, Ordering::Relaxed);
+        }
+        self.0.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.0.sum.fetch_add(other.sum(), Ordering::Relaxed);
+    }
 }
 
 /// The value side of one registered metric.
@@ -255,6 +267,70 @@ impl MetricsRegistry {
             MetricValue::Histogram(h) => h,
             _ => panic!("metric `{name}` already registered as a non-histogram"),
         }
+    }
+
+    /// Folds every metric of `other` into this registry: counters add,
+    /// gauges take the maximum, histograms merge bucket-wise. Metrics not
+    /// yet present here are registered first, so merging into an empty
+    /// registry copies `other`'s totals.
+    ///
+    /// The combine operations are commutative and associative, which makes
+    /// the merged result independent of shard order — the property the
+    /// fleet engine's deterministic report depends on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either registry lock is poisoned, or if a name/labels
+    /// pair is registered with different metric kinds in the two
+    /// registries.
+    pub fn merge_from(&self, other: &MetricsRegistry) {
+        let theirs: Vec<Metric> = other
+            .inner
+            .lock()
+            .expect("metrics registry poisoned")
+            .clone();
+        for m in theirs {
+            let labels: Vec<(&str, &str)> = m
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match &m.value {
+                MetricValue::Counter(c) => {
+                    self.counter(&m.name, &labels).add(c.get());
+                }
+                MetricValue::Gauge(g) => {
+                    let mine = self.gauge(&m.name, &labels);
+                    mine.set(mine.get().max(g.get()));
+                }
+                MetricValue::Histogram(h) => {
+                    self.histogram(&m.name, &labels).merge_from(h);
+                }
+            }
+        }
+    }
+
+    /// Every registered counter as `(name, value)`, label sets collapsed
+    /// by summation, sorted by name. The deterministic counter export used
+    /// in fleet reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the registry lock is poisoned.
+    #[must_use]
+    pub fn counter_totals(&self) -> Vec<(String, u64)> {
+        let metrics = self.inner.lock().expect("metrics registry poisoned");
+        let mut totals: Vec<(String, u64)> = Vec::new();
+        for m in metrics.iter() {
+            if let MetricValue::Counter(c) = &m.value {
+                match totals.iter_mut().find(|(name, _)| *name == m.name) {
+                    Some((_, total)) => *total += c.get(),
+                    None => totals.push((m.name.clone(), c.get())),
+                }
+            }
+        }
+        totals.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        totals
     }
 
     /// Number of registered metrics.
@@ -517,8 +593,7 @@ mod tests {
         // Histogram buckets are cumulative.
         let last_bucket = text
             .lines()
-            .filter(|l| l.starts_with("sdb_step_ns_bucket"))
-            .last()
+            .rfind(|l| l.starts_with("sdb_step_ns_bucket"))
             .unwrap();
         assert!(last_bucket.ends_with(" 1"));
     }
@@ -549,6 +624,61 @@ mod tests {
         reg.counter("c_total", &[("path", "a\"b\\c")]).inc();
         let text = reg.to_prometheus_text();
         assert!(text.contains("path=\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn merge_combines_all_metric_kinds() {
+        let a = MetricsRegistry::new();
+        a.counter("steps_total", &[]).add(3);
+        a.gauge("soc", &[]).set(0.25);
+        a.histogram("lat_ns", &[]).record(200);
+
+        let b = MetricsRegistry::new();
+        b.counter("steps_total", &[]).add(4);
+        b.counter("only_in_b_total", &[]).inc();
+        b.gauge("soc", &[]).set(0.75);
+        b.histogram("lat_ns", &[]).record(300);
+
+        a.merge_from(&b);
+        assert_eq!(a.counter("steps_total", &[]).get(), 7);
+        assert_eq!(a.counter("only_in_b_total", &[]).get(), 1);
+        assert!((a.gauge("soc", &[]).get() - 0.75).abs() < 1e-12);
+        let h = a.histogram("lat_ns", &[]);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 500);
+        // Source registry is untouched.
+        assert_eq!(b.counter("steps_total", &[]).get(), 4);
+    }
+
+    #[test]
+    fn merge_is_order_independent_for_counters_and_histograms() {
+        let build = |order: &[u64]| {
+            let merged = MetricsRegistry::new();
+            for &v in order {
+                let shard = MetricsRegistry::new();
+                shard.counter("n_total", &[]).add(v);
+                shard.histogram("h_ns", &[]).record(v);
+                merged.merge_from(&shard);
+            }
+            (
+                merged.counter_totals(),
+                merged.histogram("h_ns", &[]).bucket_counts(),
+            )
+        };
+        assert_eq!(build(&[100, 5000, 77]), build(&[77, 100, 5000]));
+    }
+
+    #[test]
+    fn counter_totals_sums_label_sets_and_sorts() {
+        let reg = MetricsRegistry::new();
+        reg.counter("z_total", &[("k", "a")]).add(2);
+        reg.counter("z_total", &[("k", "b")]).add(3);
+        reg.counter("a_total", &[]).inc();
+        reg.gauge("ignored", &[]).set(9.0);
+        assert_eq!(
+            reg.counter_totals(),
+            vec![("a_total".to_owned(), 1), ("z_total".to_owned(), 5)]
+        );
     }
 
     #[test]

@@ -17,14 +17,17 @@ pub enum SpanName {
     PolicyEval,
     /// One `run_trace` inner-loop iteration (tick + step + bookkeeping).
     TraceStep,
+    /// One complete device simulation inside a fleet run.
+    FleetDevice,
 }
 
 impl SpanName {
     /// Every span, in registry order.
-    pub const ALL: [SpanName; 3] = [
+    pub const ALL: [SpanName; 4] = [
         SpanName::MicroStep,
         SpanName::PolicyEval,
         SpanName::TraceStep,
+        SpanName::FleetDevice,
     ];
 
     /// Index into the observer's pre-registered histogram table.
@@ -34,6 +37,7 @@ impl SpanName {
             SpanName::MicroStep => 0,
             SpanName::PolicyEval => 1,
             SpanName::TraceStep => 2,
+            SpanName::FleetDevice => 3,
         }
     }
 
@@ -44,6 +48,7 @@ impl SpanName {
             SpanName::MicroStep => "sdb_micro_step_ns",
             SpanName::PolicyEval => "sdb_policy_eval_ns",
             SpanName::TraceStep => "sdb_trace_step_ns",
+            SpanName::FleetDevice => "sdb_fleet_device_ns",
         }
     }
 }

@@ -1,106 +1,131 @@
-//! Property-based tests for the power-electronics substrate.
+//! Property-based tests for the power-electronics substrate (sdb-testkit
+//! seeded-case harness).
 
-use proptest::prelude::*;
 use sdb_power_electronics::circuits::{DischargeCircuit, DischargeTopology};
 use sdb_power_electronics::measurement::{SenseChain, ShareChain};
 use sdb_power_electronics::regulator::{Regulator, RegulatorKind};
 use sdb_power_electronics::switch::PacketScheduler;
+use sdb_testkit::{check, Gen};
 
-fn arb_kind() -> impl Strategy<Value = RegulatorKind> {
-    prop::sample::select(vec![
+fn arb_kind(g: &mut Gen) -> RegulatorKind {
+    g.pick(&[
         RegulatorKind::Buck,
         RegulatorKind::BuckBoost,
         RegulatorKind::SynchronousReversibleBuck,
     ])
 }
 
-proptest! {
-    /// Regulator efficiency is always in (0, 1) for positive in-range
-    /// current.
-    #[test]
-    fn efficiency_in_unit_interval(
-        kind in arb_kind(),
-        frac in 0.001f64..1.0,
-        v in 2.5f64..4.5,
-    ) {
+/// Regulator efficiency is always in (0, 1) for positive in-range current.
+#[test]
+fn efficiency_in_unit_interval() {
+    check(256, 0x9E_0001, |g| {
+        let kind = arb_kind(g);
+        let frac = g.f64_range(0.001, 1.0);
+        let v = g.f64_range(2.5, 4.5);
         let r = Regulator::typical(kind, 3.0);
         let eta = r.efficiency(frac * 3.0, v).unwrap();
-        prop_assert!(eta > 0.0 && eta < 1.0);
-    }
+        assert!(eta > 0.0 && eta < 1.0);
+    });
+}
 
-    /// Transfer never creates energy.
-    #[test]
-    fn transfer_is_lossy(
-        kind in arb_kind(),
-        p in 0.1f64..10.0,
-        v in 2.5f64..4.5,
-    ) {
+/// Transfer never creates energy.
+#[test]
+fn transfer_is_lossy() {
+    check(256, 0x9E_0002, |g| {
+        let kind = arb_kind(g);
+        let p = g.f64_range(0.1, 10.0);
+        let v = g.f64_range(2.5, 4.5);
         let r = Regulator::typical(kind, 3.0);
-        if let Ok(out) = r.transfer_w(p, v, sdb_power_electronics::regulator::FlowDirection::Forward) {
-            prop_assert!(out < p);
-            prop_assert!(out >= 0.0);
+        if let Ok(out) = r.transfer_w(
+            p,
+            v,
+            sdb_power_electronics::regulator::FlowDirection::Forward,
+        ) {
+            assert!(out < p);
+            assert!(out >= 0.0);
         }
-    }
+    });
+}
 
-    /// Packet scheduler realized shares converge to the (quantized)
-    /// setpoint for any share vector.
-    #[test]
-    fn scheduler_converges(
-        raw in prop::collection::vec(0.01f64..1.0, 2..6),
-    ) {
+/// Packet scheduler realized shares converge to the (quantized) setpoint
+/// for any share vector.
+#[test]
+fn scheduler_converges() {
+    check(64, 0x9E_0003, |g| {
+        let raw = g.vec_f64(0.01, 1.0, 2..6);
         let sum: f64 = raw.iter().sum();
         let shares: Vec<f64> = raw.iter().map(|r| r / sum).collect();
         let mut s = PacketScheduler::new(&shares, 16_384).unwrap();
         for _ in 0..20_000 {
             s.next_packet();
         }
-        prop_assert!(s.max_share_error() < 2e-3, "err = {}", s.max_share_error());
-    }
+        assert!(s.max_share_error() < 2e-3, "err = {}", s.max_share_error());
+    });
+}
 
-    /// Scheduler never picks a zero-share battery.
-    #[test]
-    fn zero_share_never_picked(weight in 0.1f64..1.0) {
+/// Scheduler never picks a zero-share battery.
+#[test]
+fn zero_share_never_picked() {
+    check(64, 0x9E_0004, |g| {
+        let weight = g.f64_range(0.1, 1.0);
         let shares = [0.0, weight, 1.0 - weight];
         let mut s = PacketScheduler::new(&shares, 16_384).unwrap();
         for _ in 0..5_000 {
-            prop_assert!(s.next_packet() != 0);
+            assert!(s.next_packet() != 0);
         }
-    }
+    });
+}
 
-    /// Discharge loss fraction is positive, finite, and below 100 % over
-    /// the benchmarked load range.
-    #[test]
-    fn loss_fraction_bounded(load in 0.05f64..20.0, v in 3.0f64..4.4) {
-        for topo in [DischargeTopology::NaiveSwitch, DischargeTopology::SdbIntegrated] {
+/// Discharge loss fraction is positive, finite, and below 100 % over the
+/// benchmarked load range.
+#[test]
+fn loss_fraction_bounded() {
+    check(256, 0x9E_0005, |g| {
+        let load = g.f64_range(0.05, 20.0);
+        let v = g.f64_range(3.0, 4.4);
+        for topo in [
+            DischargeTopology::NaiveSwitch,
+            DischargeTopology::SdbIntegrated,
+        ] {
             let c = DischargeCircuit::new(topo, 2);
             let f = c.loss_fraction(load, v).unwrap();
-            prop_assert!(f > 0.0 && f < 0.25, "f = {f}");
+            assert!(f > 0.0 && f < 0.25, "f = {f}");
         }
-    }
+    });
+}
 
-    /// Sense-chain absolute error stays within its physical budget
-    /// (half an LSB of quantization + offset + gain mismatch).
-    #[test]
-    fn sense_error_bounded(i in 0.05f64..4.0) {
+/// Sense-chain absolute error stays within its physical budget (half an
+/// LSB of quantization + offset + gain mismatch).
+#[test]
+fn sense_error_bounded() {
+    check(256, 0x9E_0006, |g| {
+        let i = g.f64_range(0.05, 4.0);
         let s = SenseChain::prototype_charger();
         let realized = s.realized_current_a(i).unwrap();
         let budget = s.lsb_a() / 2.0 + s.offset_a + s.gain_mismatch * i + 1e-12;
-        prop_assert!((realized - i).abs() <= budget, "error at {i} A = {}", (realized - i).abs());
+        assert!(
+            (realized - i).abs() <= budget,
+            "error at {i} A = {}",
+            (realized - i).abs()
+        );
         // And within the paper's 0.5 % relative bound over its measured
         // sweep (0.2–2.0 A).
         if (0.2..=2.0).contains(&i) {
             let e = s.error_percent(i).unwrap();
-            prop_assert!(e < 0.7, "error at {i} A = {e}%");
+            assert!(e < 0.7, "error at {i} A = {e}%");
         }
-    }
+    });
+}
 
-    /// Share-chain realized value round-trips within its quantization +
-    /// mismatch budget.
-    #[test]
-    fn share_error_budget(p in 0.005f64..1.0) {
+/// Share-chain realized value round-trips within its quantization +
+/// mismatch budget.
+#[test]
+fn share_error_budget() {
+    check(256, 0x9E_0007, |g| {
+        let p = g.f64_range(0.005, 1.0);
         let c = ShareChain::prototype();
         let realized = c.realized_share(p).unwrap();
         let budget = 0.5 / 16_384.0 + 0.0015 * p + 1e-12;
-        prop_assert!((realized - p).abs() <= budget, "p={p} realized={realized}");
-    }
+        assert!((realized - p).abs() <= budget, "p={p} realized={realized}");
+    });
 }

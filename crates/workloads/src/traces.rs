@@ -7,8 +7,7 @@
 //! debugging SDB policies", Section 4.2).
 
 use crate::device::{Activity, DeviceClass, DevicePower};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sdb_rng::DetRng;
 
 /// One constant-power segment of a trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -191,7 +190,7 @@ impl Trace {
 #[must_use]
 pub fn watch_day(seed: u64, run_hour: Option<f64>) -> Trace {
     let dev = DevicePower::for_class(DeviceClass::Watch);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut t = Trace::new();
     // Minute-granularity day.
     for minute in 0..(24 * 60) {
@@ -199,10 +198,10 @@ pub fn watch_day(seed: u64, run_hour: Option<f64>) -> Trace {
         let in_run = run_hour.is_some_and(|rh| hour >= rh && hour < rh + 1.0);
         let load = if in_run {
             // GPS tracking with occasional screen glances.
-            dev.draw_w(Activity::GpsTracking) * rng.gen_range(0.9..1.25)
+            dev.draw_w(Activity::GpsTracking) * rng.f64_range(0.9, 1.25)
         } else if hour >= 16.0 {
             // Night: idle with rare sync spikes.
-            if rng.gen_bool(0.02) {
+            if rng.chance(0.02) {
                 dev.draw_w(Activity::Network) * 0.6
             } else {
                 dev.draw_w(Activity::Idle)
@@ -210,10 +209,10 @@ pub fn watch_day(seed: u64, run_hour: Option<f64>) -> Trace {
         } else {
             // Waking day: message checking — mostly idle-with-glances,
             // frequent short interactive bursts.
-            if rng.gen_bool(0.45) {
-                dev.draw_w(Activity::Interactive) * rng.gen_range(0.7..1.3)
+            if rng.chance(0.45) {
+                dev.draw_w(Activity::Interactive) * rng.f64_range(0.7, 1.3)
             } else {
-                dev.draw_w(Activity::Idle) * rng.gen_range(1.0..2.0)
+                dev.draw_w(Activity::Idle) * rng.f64_range(1.0, 2.0)
             }
         };
         t.push(load, 0.0, 60.0);
@@ -228,28 +227,28 @@ pub fn watch_day(seed: u64, run_hour: Option<f64>) -> Trace {
 #[must_use]
 pub fn phone_day(seed: u64) -> Trace {
     let dev = DevicePower::for_class(DeviceClass::Phone);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut t = Trace::new();
     for minute in 0..(24 * 60) {
         let hour = minute as f64 / 60.0;
         let load = if !(7.0..23.5).contains(&hour) {
             // Night: idle with rare sync wakes.
-            if rng.gen_bool(0.03) {
+            if rng.chance(0.03) {
                 dev.draw_w(Activity::Network) * 0.5
             } else {
                 dev.draw_w(Activity::Idle)
             }
         } else if (8.0..8.5).contains(&hour) || (17.5..18.0).contains(&hour) {
             // Commutes: turn-by-turn navigation.
-            dev.draw_w(Activity::GpsTracking) * rng.gen_range(0.9..1.2)
+            dev.draw_w(Activity::GpsTracking) * rng.f64_range(0.9, 1.2)
         } else if (20.0..22.0).contains(&hour) {
             // Evening streaming (radio duty-cycled, display dimmed).
-            dev.draw_w(Activity::Network) * rng.gen_range(0.55..0.75)
-        } else if rng.gen_bool(0.22) {
+            dev.draw_w(Activity::Network) * rng.f64_range(0.55, 0.75)
+        } else if rng.chance(0.22) {
             // Pocket time with periodic checks.
-            dev.draw_w(Activity::Interactive) * rng.gen_range(0.7..1.3)
+            dev.draw_w(Activity::Interactive) * rng.f64_range(0.7, 1.3)
         } else {
-            dev.draw_w(Activity::Idle) * rng.gen_range(1.0..2.5)
+            dev.draw_w(Activity::Idle) * rng.f64_range(1.0, 2.5)
         };
         t.push(load, 0.0, 60.0);
     }
@@ -261,14 +260,14 @@ pub fn phone_day(seed: u64) -> Trace {
 pub fn tablet_session(seed: u64, activities: &[Activity], segment_s: f64, total_s: f64) -> Trace {
     assert!(!activities.is_empty(), "need at least one activity");
     let dev = DevicePower::for_class(DeviceClass::Tablet);
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     let mut t = Trace::new();
     let mut elapsed = 0.0;
     let mut idx = 0usize;
     while elapsed < total_s {
         let dur = segment_s.min(total_s - elapsed);
         let base = dev.draw_w(activities[idx % activities.len()]);
-        t.push(base * rng.gen_range(0.85..1.15), 0.0, dur);
+        t.push(base * rng.f64_range(0.85, 1.15), 0.0, dur);
         elapsed += dur;
         idx += 1;
     }

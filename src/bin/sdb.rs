@@ -7,6 +7,7 @@
 //! sdb sim    --pack phone --trace-file captured.csv   (CSV: dur_s,load_w[,external_w])
 //! sdb charge --pack tablet-hybrid --watts 45 [--directive <0..1>] [--target <pct>]
 //! sdb status --pack phone [--soc <0..1>]     show QueryBatteryStatus + ACPI view
+//! sdb fleet  --devices 10000 --threads 8 --seed 42 [--hours H] [--json] [--metrics-out <path>]
 //! ```
 
 use sdb::battery_model::{library, BatterySpec, Chemistry};
@@ -14,6 +15,7 @@ use sdb::core::policy::{ChargeDirective, DischargeDirective, PreservePolicy};
 use sdb::core::runtime::SdbRuntime;
 use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
 use sdb::emulator::{acpi, Microcontroller, PackBuilder, ProfileKind};
+use sdb::fleet;
 use sdb::workloads::traces::{phone_day, tablet_session, watch_day, Trace};
 use sdb::workloads::Activity;
 use std::collections::HashMap;
@@ -144,9 +146,18 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut i = 0;
     while i < args.len() {
         if let Some(key) = args[i].strip_prefix("--") {
-            let value = args.get(i + 1).cloned().unwrap_or_default();
-            flags.insert(key.to_owned(), value);
-            i += 2;
+            // A flag followed by another flag (or nothing) is boolean,
+            // e.g. `--json`.
+            match args.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    flags.insert(key.to_owned(), next.clone());
+                    i += 2;
+                }
+                _ => {
+                    flags.insert(key.to_owned(), String::new());
+                    i += 1;
+                }
+            }
         } else {
             i += 1;
         }
@@ -156,7 +167,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]"
+        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--json] [--out <path>] [--metrics-out <path>]"
     );
     ExitCode::FAILURE
 }
@@ -353,6 +364,74 @@ fn cmd_status(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs a deterministic multi-device fleet simulation and prints the
+/// merged report (human-readable by default, canonical JSON with
+/// `--json`). The report is a pure function of `--devices`/`--seed`/
+/// `--hours`; `--threads` only changes wall-clock time.
+fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
+    let devices: usize = flags
+        .get("devices")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1000);
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let hours: f64 = flags
+        .get("hours")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4.0);
+
+    let spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
+    let (report, stats) = match fleet::run_fleet(&spec, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(path) = flags.get("metrics-out") {
+        let text = if path.ends_with(".json") {
+            stats.registry.to_json()
+        } else {
+            stats.registry.to_prometheus_text()
+        };
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("failed to write metrics to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote metrics to {path}");
+    }
+
+    let body = if flags.contains_key("json") {
+        let mut s = report.to_json();
+        s.push('\n');
+        s
+    } else {
+        format!(
+            "{}threads: {}  wall: {:.2} s  throughput: {:.0} devices/sec\n",
+            report.render_text(),
+            stats.threads,
+            stats.wall_s,
+            stats.devices_per_sec
+        )
+    };
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("failed to write report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote report to {path}");
+    } else {
+        emit(&body);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = parse_flags(&args[1.min(args.len())..]);
@@ -376,6 +455,7 @@ fn main() -> ExitCode {
         Some("sim") => cmd_sim(&flags),
         Some("charge") => cmd_charge(&flags),
         Some("status") => cmd_status(&flags),
+        Some("fleet") => cmd_fleet(&flags),
         _ => usage(),
     }
 }

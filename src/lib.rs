@@ -21,6 +21,10 @@
 //! * [`observe`] — flight-recorder observability: a metrics registry with
 //!   Prometheus/JSON exporters, the structured event bus every layer emits
 //!   into, and hot-path span timing.
+//! * [`fleet`] — the sharded multi-device fleet simulation engine:
+//!   deterministic population sampling, work-queue parallelism over
+//!   `std::thread::scope`, and fleet reports that are bit-identical for
+//!   any thread count.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +63,7 @@
 pub use sdb_battery_model as battery_model;
 pub use sdb_core as core;
 pub use sdb_emulator as emulator;
+pub use sdb_fleet as fleet;
 pub use sdb_fuel_gauge as fuel_gauge;
 pub use sdb_observe as observe;
 pub use sdb_power_electronics as power_electronics;

