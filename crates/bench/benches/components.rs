@@ -10,6 +10,7 @@ use sdb_core::policy::{rbl_discharge, PolicyInput};
 use sdb_core::runtime::SdbRuntime;
 use sdb_emulator::micro::Microcontroller;
 use sdb_emulator::pack::PackBuilder;
+use sdb_observe::QuantileSketch;
 use sdb_power_electronics::switch::PacketScheduler;
 use std::hint::black_box;
 
@@ -68,6 +69,33 @@ fn main() {
                 black_box(s.next_packet());
             }
             s
+        },
+    );
+
+    h.bench_batched(
+        "quantile_sketch_insert_x1000",
+        QuantileSketch::new,
+        |mut s| {
+            for i in 0..1000u64 {
+                s.insert(black_box(1.0 + (i as f64) * 3.7));
+            }
+            s
+        },
+    );
+    h.bench_batched(
+        "quantile_sketch_merge_1k_buckets",
+        || {
+            let mut a = QuantileSketch::new();
+            let mut b = QuantileSketch::new();
+            for i in 0..5000u64 {
+                a.insert(0.1 + i as f64);
+                b.insert(0.5 + (i as f64) * 2.3);
+            }
+            (a, b)
+        },
+        |(mut a, b)| {
+            a.merge_from(black_box(&b));
+            (a, b)
         },
     );
 

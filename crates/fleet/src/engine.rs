@@ -11,6 +11,7 @@
 //! count, including 1.
 
 use crate::report::FleetReport;
+use crate::sketches::FleetSketches;
 use crate::spec::{FleetSpec, PolicySpec};
 use sdb_core::metrics::{ccb, wear_ratios};
 use sdb_core::policy::{DischargeDirective, PreservePolicy};
@@ -18,7 +19,7 @@ use sdb_core::runtime::SdbRuntime;
 use sdb_core::scheduler::run_trace;
 use sdb_emulator::micro::Microcontroller;
 use sdb_emulator::pack::PackBuilder;
-use sdb_observe::{MetricsRegistry, Observer, SpanName};
+use sdb_observe::{DeviceEvent, MetricsRegistry, Observer, SpanName, TraceCollector};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -64,6 +65,11 @@ pub struct FleetRunStats {
     /// The merged per-shard registries: counter totals, gauges, and the
     /// span latency histograms (including [`SpanName::FleetDevice`]).
     pub registry: MetricsRegistry,
+    /// Merged streaming quantile sketches over the per-device outcome
+    /// metrics. Deterministic (commutative merge), but kept out of the
+    /// report: the exact nearest-rank percentiles there are canonical and
+    /// the sketch is the O(1)-memory streaming view.
+    pub sketches: FleetSketches,
 }
 
 /// Builds and runs one device, recording into the shard's observer.
@@ -129,21 +135,55 @@ fn run_device(spec: &FleetSpec, device: u64, obs: &Observer) -> DeviceOutcome {
 ///
 /// Returns the spec validation error, or a message if a worker panicked.
 pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<(FleetReport, FleetRunStats), String> {
+    let (report, stats, _) = run_fleet_captured(spec, threads, false)?;
+    Ok((report, stats))
+}
+
+/// [`run_fleet`], optionally capturing the full device-tagged event stream.
+///
+/// With `capture_events`, every shard observer gets a [`TraceCollector`]
+/// sink; each device's events are tagged `(device, seq)` and the merged
+/// stream is returned sorted by that key — so the serialized trace is
+/// byte-identical for any thread count. Capture retains every event in
+/// memory; budget roughly one `StepSample` per simulation step per device.
+///
+/// # Errors
+///
+/// Returns the spec validation error, or a message if a worker panicked.
+pub fn run_fleet_captured(
+    spec: &FleetSpec,
+    threads: usize,
+    capture_events: bool,
+) -> Result<(FleetReport, FleetRunStats, Option<Vec<DeviceEvent>>), String> {
     spec.validate()?;
     let threads = threads.max(1);
     let start = Instant::now();
     let next = AtomicUsize::new(0);
 
-    let shards: Vec<(Vec<DeviceOutcome>, Observer)> = std::thread::scope(|s| {
+    type Shard = (
+        Vec<DeviceOutcome>,
+        Observer,
+        FleetSketches,
+        Option<Vec<DeviceEvent>>,
+    );
+    let shards: Vec<Shard> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let next = &next;
                 s.spawn(move || {
                     let obs = Observer::new();
+                    let collector = if capture_events {
+                        let shared = TraceCollector::shared();
+                        obs.add_sink(Box::new(shared.clone()));
+                        Some(shared)
+                    } else {
+                        None
+                    };
                     let devices_done = obs
                         .registry()
                         .expect("fresh observer has a registry")
                         .counter("sdb_fleet_devices_total", &[]);
+                    let mut sketches = FleetSketches::new();
                     // Pre-size for the even-split case; the queue handles skew.
                     let mut outcomes = Vec::with_capacity(spec.devices / threads + 1);
                     loop {
@@ -151,12 +191,24 @@ pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<(FleetReport, Fleet
                         if i >= spec.devices {
                             break;
                         }
+                        if let Some(c) = &collector {
+                            c.lock().expect("collector lock").set_device(i as u64);
+                        }
+                        // The observer is shared across this shard's devices;
+                        // reset the sim clock so a device's pre-step events
+                        // (t = 0 ratio pushes) aren't stamped with the
+                        // previous device's end time — which would differ by
+                        // shard layout and break trace determinism.
+                        obs.set_clock(0.0);
                         let span = obs.span(SpanName::FleetDevice);
-                        outcomes.push(run_device(spec, i as u64, &obs));
+                        let outcome = run_device(spec, i as u64, &obs);
                         drop(span);
+                        sketches.observe(&outcome);
+                        outcomes.push(outcome);
                         devices_done.inc();
                     }
-                    (outcomes, obs)
+                    let events = collector.map(|c| c.lock().expect("collector lock").drain());
+                    (outcomes, obs, sketches, events)
                 })
             })
             .collect();
@@ -168,12 +220,19 @@ pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<(FleetReport, Fleet
 
     // Deterministic merge: shard order and shard contents depend on
     // scheduling, so re-establish device order before any aggregation.
+    // Sketches merge commutatively, so shard order is irrelevant there.
     let mut outcomes: Vec<DeviceOutcome> = Vec::with_capacity(spec.devices);
     let merged = MetricsRegistry::new();
-    for (shard_outcomes, obs) in shards {
+    let mut sketches = FleetSketches::new();
+    let mut events: Option<Vec<DeviceEvent>> = capture_events.then(Vec::new);
+    for (shard_outcomes, obs, shard_sketches, shard_events) in shards {
         outcomes.extend(shard_outcomes);
         if let Some(reg) = obs.registry() {
             merged.merge_from(reg);
+        }
+        sketches.merge_from(&shard_sketches);
+        if let (Some(all), Some(shard)) = (events.as_mut(), shard_events) {
+            all.extend(shard);
         }
     }
     outcomes.sort_unstable_by_key(|o| o.device);
@@ -181,6 +240,9 @@ pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<(FleetReport, Fleet
         .iter()
         .enumerate()
         .all(|(i, o)| o.device == i as u64));
+    if let Some(all) = events.as_mut() {
+        all.sort_by_key(|e| (e.device, e.seq));
+    }
 
     let report = FleetReport::from_outcomes(spec, &outcomes, &merged);
     let wall_s = start.elapsed().as_secs_f64();
@@ -189,8 +251,9 @@ pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<(FleetReport, Fleet
         wall_s,
         devices_per_sec: spec.devices as f64 / wall_s.max(1e-9),
         registry: merged,
+        sketches,
     };
-    Ok((report, stats))
+    Ok((report, stats, events))
 }
 
 #[cfg(test)]
@@ -257,6 +320,44 @@ mod tests {
         let (r3, _) = run_fleet(&spec, 3).unwrap();
         assert_eq!(r1, r3);
         assert_eq!(r1.to_json(), r3.to_json());
+    }
+
+    #[test]
+    fn captured_events_are_device_sorted_and_thread_invariant() {
+        let spec = tiny_spec(9);
+        let (_, _, e1) = run_fleet_captured(&spec, 1, true).unwrap();
+        let (_, _, e4) = run_fleet_captured(&spec, 4, true).unwrap();
+        let e1 = e1.unwrap();
+        let e4 = e4.unwrap();
+        assert!(!e1.is_empty());
+        assert_eq!(e1, e4);
+        // Sorted by (device, seq) with seq restarting at 0 per device.
+        for w in e1.windows(2) {
+            assert!((w[0].device, w[0].seq) < (w[1].device, w[1].seq));
+        }
+        let devices: std::collections::BTreeSet<u64> = e1.iter().map(|e| e.device).collect();
+        assert_eq!(devices.len(), 9);
+        // Without capture, no events and no collector overhead.
+        let (_, _, none) = run_fleet_captured(&spec, 2, false).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn stats_sketches_track_the_exact_report_percentiles() {
+        let spec = tiny_spec(40);
+        let (report, stats, _) = run_fleet_captured(&spec, 3, false).unwrap();
+        assert_eq!(stats.sketches.count(), 40);
+        for d in stats.sketches.deltas(&report) {
+            assert!(
+                d.rel_err <= crate::sketches::FLEET_SKETCH_ALPHA,
+                "{} q{}: exact {} sketch {} rel_err {}",
+                d.metric,
+                d.quantile,
+                d.exact,
+                d.sketch,
+                d.rel_err
+            );
+        }
     }
 
     #[test]

@@ -18,6 +18,12 @@
 //!   percentiles, brownout rate, loss and wear distributions, per-cohort
 //!   breakdowns, merged counter totals) that is **bit-identical for any
 //!   thread count**.
+//! * [`sketches`] — streaming log-bucket quantile sketches carried per
+//!   shard and merged commutatively after join: O(1)-memory fleet
+//!   percentiles, cross-checked against the exact nearest-rank numbers in
+//!   the report. The engine can also capture the full device-tagged event
+//!   stream ([`engine::run_fleet_captured`]) for serialization by
+//!   `sdb-trace`.
 //!
 //! Determinism contract: `FleetReport` (and its JSON rendering) is a pure
 //! function of `(FleetSpec, master seed)`. Wall-clock facts — thread
@@ -40,8 +46,12 @@
 
 pub mod engine;
 pub mod report;
+pub mod sketches;
 pub mod spec;
 
-pub use engine::{run_fleet, DeviceOutcome, FleetRunStats};
+pub use engine::{run_fleet, run_fleet_captured, DeviceOutcome, FleetRunStats};
 pub use report::{CohortReport, DistSummary, FleetReport};
+pub use sketches::{
+    render_deltas_json, render_deltas_text, FleetSketches, SketchDelta, FLEET_SKETCH_ALPHA,
+};
 pub use spec::{BatterySlot, CohortSpec, FleetSpec, PackTemplate, PolicySpec, WorkloadSpec};

@@ -1,0 +1,266 @@
+//! Streaming fleet percentiles.
+//!
+//! [`FleetSketches`] carries one [`QuantileSketch`] per headline fleet
+//! metric. Each shard observes its own outcomes into a private instance
+//! (O(1) memory in the device count), and the engine merges the shards
+//! commutatively after join — so fleet percentiles are available without
+//! retaining per-device vectors, and the merged result is identical for
+//! any shard order or thread count.
+//!
+//! The exact nearest-rank percentiles in [`FleetReport`] remain the
+//! canonical numbers; [`FleetSketches::deltas`] cross-checks the sketch
+//! against them, reporting the relative error per (metric, quantile) so
+//! the α-bound is continuously verified on real populations.
+
+use crate::engine::DeviceOutcome;
+use crate::report::FleetReport;
+use sdb_observe::QuantileSketch;
+use std::fmt::Write as _;
+
+/// The sketch accuracy used for fleet metrics (1 % relative error).
+pub const FLEET_SKETCH_ALPHA: f64 = 0.01;
+
+/// Streaming quantile sketches over the per-device outcome metrics.
+#[derive(Debug, Clone)]
+pub struct FleetSketches {
+    /// Effective battery life, seconds.
+    pub life_s: QuantileSketch,
+    /// Circuit (power-electronics) losses, joules.
+    pub circuit_loss_j: QuantileSketch,
+    /// Cell resistive heat, joules.
+    pub cell_heat_j: QuantileSketch,
+    /// Cycle-count balance (1.0 = balanced wear).
+    pub wear_ccb: QuantileSketch,
+    /// Mean final state of charge.
+    pub final_soc: QuantileSketch,
+}
+
+impl Default for FleetSketches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One sketch-vs-exact comparison point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SketchDelta {
+    /// Metric name (`life_s`, `circuit_loss_j`, …).
+    pub metric: &'static str,
+    /// The quantile compared (0.50, 0.95, 0.99).
+    pub quantile: f64,
+    /// Exact nearest-rank percentile from the report.
+    pub exact: f64,
+    /// Sketch estimate of the same quantile.
+    pub sketch: f64,
+    /// `|sketch − exact| / max(|exact|, 1e-12)`.
+    pub rel_err: f64,
+}
+
+impl FleetSketches {
+    /// Empty sketches at [`FLEET_SKETCH_ALPHA`] accuracy.
+    #[must_use]
+    pub fn new() -> Self {
+        let s = || QuantileSketch::with_accuracy(FLEET_SKETCH_ALPHA);
+        Self {
+            life_s: s(),
+            circuit_loss_j: s(),
+            cell_heat_j: s(),
+            wear_ccb: s(),
+            final_soc: s(),
+        }
+    }
+
+    /// Folds one device outcome into every sketch.
+    pub fn observe(&mut self, outcome: &DeviceOutcome) {
+        self.life_s.insert(outcome.life_s);
+        self.circuit_loss_j.insert(outcome.circuit_loss_j);
+        self.cell_heat_j.insert(outcome.cell_heat_j);
+        self.wear_ccb.insert(outcome.wear_ccb);
+        self.final_soc.insert(outcome.mean_final_soc);
+    }
+
+    /// Merges another shard's sketches into this one. Commutative and
+    /// associative: any merge order yields identical estimates.
+    pub fn merge_from(&mut self, other: &Self) {
+        self.life_s.merge_from(&other.life_s);
+        self.circuit_loss_j.merge_from(&other.circuit_loss_j);
+        self.cell_heat_j.merge_from(&other.cell_heat_j);
+        self.wear_ccb.merge_from(&other.wear_ccb);
+        self.final_soc.merge_from(&other.final_soc);
+    }
+
+    /// Devices observed (every sketch sees each outcome once).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.life_s.count()
+    }
+
+    /// Cross-checks sketch p50/p95/p99 against the exact nearest-rank
+    /// percentiles in `report`, one delta per (metric, quantile).
+    #[must_use]
+    pub fn deltas(&self, report: &FleetReport) -> Vec<SketchDelta> {
+        let mut out = Vec::with_capacity(15);
+        let mut push = |metric: &'static str, sketch: &QuantileSketch, exact: [f64; 3]| {
+            for (q, exact) in [(0.50, exact[0]), (0.95, exact[1]), (0.99, exact[2])] {
+                let est = sketch.quantile(q);
+                out.push(SketchDelta {
+                    metric,
+                    quantile: q,
+                    exact,
+                    sketch: est,
+                    rel_err: (est - exact).abs() / exact.abs().max(1e-12),
+                });
+            }
+        };
+        let r = report;
+        push(
+            "life_s",
+            &self.life_s,
+            [r.life_s.p50, r.life_s.p95, r.life_s.p99],
+        );
+        push(
+            "circuit_loss_j",
+            &self.circuit_loss_j,
+            [
+                r.circuit_loss_j.p50,
+                r.circuit_loss_j.p95,
+                r.circuit_loss_j.p99,
+            ],
+        );
+        push(
+            "cell_heat_j",
+            &self.cell_heat_j,
+            [r.cell_heat_j.p50, r.cell_heat_j.p95, r.cell_heat_j.p99],
+        );
+        push(
+            "wear_ccb",
+            &self.wear_ccb,
+            [r.wear_ccb.p50, r.wear_ccb.p95, r.wear_ccb.p99],
+        );
+        push(
+            "final_soc",
+            &self.final_soc,
+            [r.final_soc.p50, r.final_soc.p95, r.final_soc.p99],
+        );
+        out
+    }
+}
+
+/// Renders sketch-vs-exact deltas as an aligned text table.
+#[must_use]
+pub fn render_deltas_text(deltas: &[SketchDelta]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<16} {:>5} {:>14} {:>14} {:>10}",
+        "metric", "q", "exact", "sketch", "rel_err"
+    );
+    for d in deltas {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>5} {:>14.6} {:>14.6} {:>10.2e}",
+            d.metric, d.quantile, d.exact, d.sketch, d.rel_err
+        );
+    }
+    out
+}
+
+/// Renders sketch-vs-exact deltas as deterministic JSON.
+#[must_use]
+pub fn render_deltas_json(deltas: &[SketchDelta]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in deltas.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"metric\":\"{}\",\"quantile\":{:?},\"exact\":{:?},\"sketch\":{:?},\"rel_err\":{:?}}}",
+            d.metric, d.quantile, d.exact, d.sketch, d.rel_err
+        );
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(device: u64, life_s: f64) -> DeviceOutcome {
+        DeviceOutcome {
+            device,
+            cohort: 0,
+            life_s,
+            browned_out: false,
+            simulated_s: life_s,
+            supplied_j: 10.0 * life_s,
+            unmet_j: 0.0,
+            circuit_loss_j: 0.02 * life_s,
+            cell_heat_j: 0.01 * life_s,
+            wear_ccb: 1.0 + 1e-4 * device as f64,
+            mean_final_soc: 0.5,
+        }
+    }
+
+    #[test]
+    fn observes_and_counts() {
+        let mut s = FleetSketches::new();
+        for d in 0..10 {
+            s.observe(&outcome(d, 3600.0 + 60.0 * d as f64));
+        }
+        assert_eq!(s.count(), 10);
+        let p50 = s.life_s.quantile(0.50);
+        assert!(
+            (p50 - 3840.0).abs() / 3840.0 < 2.0 * FLEET_SKETCH_ALPHA,
+            "{p50}"
+        );
+    }
+
+    #[test]
+    fn merge_order_is_irrelevant() {
+        let mut a = FleetSketches::new();
+        let mut b = FleetSketches::new();
+        let mut c = FleetSketches::new();
+        for d in 0..30u64 {
+            let o = outcome(d, 1000.0 + 37.0 * d as f64);
+            match d % 3 {
+                0 => a.observe(&o),
+                1 => b.observe(&o),
+                _ => c.observe(&o),
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge_from(&b);
+        ab.merge_from(&c);
+        let mut cb = c.clone();
+        cb.merge_from(&b);
+        cb.merge_from(&a);
+        for q in [0.01, 0.25, 0.5, 0.75, 0.95, 0.99] {
+            assert_eq!(
+                ab.life_s.quantile(q).to_bits(),
+                cb.life_s.quantile(q).to_bits()
+            );
+            assert_eq!(
+                ab.wear_ccb.quantile(q).to_bits(),
+                cb.wear_ccb.quantile(q).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn delta_rendering_is_deterministic() {
+        let deltas = vec![SketchDelta {
+            metric: "life_s",
+            quantile: 0.95,
+            exact: 3600.0,
+            sketch: 3610.0,
+            rel_err: 10.0 / 3600.0,
+        }];
+        let text = render_deltas_text(&deltas);
+        assert!(text.contains("life_s"));
+        let json = render_deltas_json(&deltas);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json, render_deltas_json(&deltas));
+    }
+}

@@ -306,6 +306,86 @@ impl EventSink for FlightRecorder {
     }
 }
 
+/// An event tagged with the device that emitted it — the unit of a fleet
+/// trace. `seq` is the per-device emission index, so a merged multi-shard
+/// trace can be re-ordered deterministically by `(device, seq)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceEvent {
+    /// Device index within the fleet (0 for single-device runs).
+    pub device: u64,
+    /// Emission index within the device's own event stream.
+    pub seq: u64,
+    /// Simulation time of the event, seconds.
+    pub t_s: f64,
+    /// The event.
+    pub event: ObsEvent,
+}
+
+/// An unbounded capturing sink that tags every event with the device
+/// currently being simulated. A fleet shard attaches one collector to its
+/// observer and calls [`TraceCollector::set_device`] before each device
+/// run; devices within a shard run sequentially, so the tag is always
+/// right. The collected entries from all shards, sorted by
+/// `(device, seq)`, form a deterministic fleet trace regardless of how
+/// devices were distributed across threads.
+#[derive(Debug, Clone, Default)]
+pub struct TraceCollector {
+    device: u64,
+    next_seq: u64,
+    entries: Vec<DeviceEvent>,
+}
+
+impl TraceCollector {
+    /// An empty collector tagging events as device 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A collector wrapped for sharing: attach a clone via
+    /// [`crate::Observer::add_sink`], keep the original to drain later.
+    #[must_use]
+    pub fn shared() -> Arc<Mutex<TraceCollector>> {
+        Arc::new(Mutex::new(Self::new()))
+    }
+
+    /// Switches the device tag for subsequently recorded events and
+    /// restarts the per-device sequence counter.
+    pub fn set_device(&mut self, device: u64) {
+        self.device = device;
+        self.next_seq = 0;
+    }
+
+    /// Number of captured events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been captured.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes and returns everything captured so far.
+    pub fn drain(&mut self) -> Vec<DeviceEvent> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+impl EventSink for TraceCollector {
+    fn record(&mut self, t_s: f64, event: &ObsEvent) {
+        self.entries.push(DeviceEvent {
+            device: self.device,
+            seq: self.next_seq,
+            t_s,
+            event: event.clone(),
+        });
+        self.next_seq += 1;
+    }
+}
+
 /// A sink that prints every event to stderr as it happens.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StderrLogger;
@@ -392,6 +472,24 @@ mod tests {
         let text = r.dump_text();
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("ratio-push discharge"));
+    }
+
+    #[test]
+    fn trace_collector_tags_device_and_seq() {
+        let mut c = TraceCollector::new();
+        c.set_device(3);
+        c.record(1.0, &ev(0));
+        c.record(2.0, &ev(1));
+        c.set_device(9);
+        c.record(0.5, &ev(2));
+        let entries = c.drain();
+        assert!(c.is_empty());
+        assert_eq!(entries.len(), 3);
+        assert_eq!((entries[0].device, entries[0].seq), (3, 0));
+        assert_eq!((entries[1].device, entries[1].seq), (3, 1));
+        // set_device restarts the per-device sequence.
+        assert_eq!((entries[2].device, entries[2].seq), (9, 0));
+        assert_eq!(entries[2].t_s, 0.5);
     }
 
     #[test]

@@ -40,10 +40,15 @@
 
 pub mod events;
 pub mod metrics;
+pub mod sketch;
 pub mod span;
 
-pub use events::{EventSink, FlightRecorder, Flow, ObsEvent, StderrLogger, TimedEvent};
+pub use events::{
+    DeviceEvent, EventSink, FlightRecorder, Flow, ObsEvent, StderrLogger, TimedEvent,
+    TraceCollector,
+};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+pub use sketch::QuantileSketch;
 pub use span::{SpanGuard, SpanName};
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};

@@ -502,7 +502,23 @@ fn escape_label(v: &str) -> String {
 }
 
 fn json_str(s: &str) -> String {
-    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// JSON/Prometheus-safe float formatting (finite shortest round-trip,
@@ -624,6 +640,38 @@ mod tests {
         reg.counter("c_total", &[("path", "a\"b\\c")]).inc();
         let text = reg.to_prometheus_text();
         assert!(text.contains("path=\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn prometheus_escapes_quote_backslash_and_newline() {
+        // Regression: every escapable character of the exposition format
+        // (`"`, `\`, literal newline) in one label value, in an order that
+        // would double-escape if the backslash pass ran last.
+        let reg = MetricsRegistry::new();
+        reg.counter("esc_total", &[("v", "q\"uote b\\ack n\new")])
+            .inc();
+        let text = reg.to_prometheus_text();
+        assert!(text.contains(r#"v="q\"uote b\\ack n\new""#), "got: {text}");
+        // The rendered line must stay a single physical line.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("esc_total"))
+            .expect("metric rendered");
+        assert!(line.ends_with(" 1"));
+    }
+
+    #[test]
+    fn json_export_escapes_control_characters() {
+        let reg = MetricsRegistry::new();
+        reg.counter("esc_total", &[("v", "a\"b\\c\nd\te\u{1}f")])
+            .inc();
+        let json = reg.to_json();
+        assert!(
+            json.contains(r#""v":"a\"b\\c\nd\te\u0001f""#),
+            "got: {json}"
+        );
+        // No raw control characters may survive into the JSON text.
+        assert!(!json.chars().any(|c| (c as u32) < 0x20 && c != ' '));
     }
 
     #[test]

@@ -1,0 +1,619 @@
+//! The declarative anomaly/health-rule engine.
+//!
+//! A [`RuleSpec`] names a [`Signal`] extracted from the event stream, an
+//! evaluation window, a threshold, and a severity. The [`RuleEngine`]
+//! evaluates every rule incrementally as events arrive — O(window) state
+//! per `(device, rule)` pair, nothing buffered beyond the window — and
+//! emits a [`HealthFinding`] on each rising edge of a violation (the
+//! finding latches until the signal recovers, so a sustained anomaly is
+//! one finding, not one per step).
+//!
+//! The default rule set covers the paper's §6-style longitudinal health
+//! checks: brownout precursors (sag-rate of pack SoC), realized brownouts,
+//! wear-imbalance drift (SoC spread across the pack, the live precursor of
+//! CCB divergence), thermal-derate oscillation, and charge-directive
+//! thrash.
+
+use sdb_observe::ObsEvent;
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth a look in aggregate.
+    Info,
+    /// Degraded behavior; the device is on a bad trajectory.
+    Warning,
+    /// User-visible failure (brownout, hard fault).
+    Critical,
+}
+
+impl std::fmt::Display for Severity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        })
+    }
+}
+
+/// The signal a rule watches, extracted incrementally from events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Signal {
+    /// Decline rate of the pack's mean SoC over the window, in SoC
+    /// fraction per hour (positive = draining). From step samples.
+    SocSagRatePerHour,
+    /// Instantaneous SoC spread across the pack (`max − min`). The live
+    /// precursor of CCB wear imbalance. From step samples.
+    SocSpread,
+    /// Unserved load power, watts (`load − supplied`). From step samples.
+    UnmetPowerW,
+    /// Thermal-throttle transitions (engage or release) within the window.
+    ThermalTransitionsInWindow,
+    /// Ratio pushes accepted by the hardware within the window (policy
+    /// evaluations with `pushed = true`).
+    DirectivePushesInWindow,
+}
+
+impl Signal {
+    fn name(self) -> &'static str {
+        match self {
+            Signal::SocSagRatePerHour => "soc_sag_rate_per_hour",
+            Signal::SocSpread => "soc_spread",
+            Signal::UnmetPowerW => "unmet_power_w",
+            Signal::ThermalTransitionsInWindow => "thermal_transitions_in_window",
+            Signal::DirectivePushesInWindow => "directive_pushes_in_window",
+        }
+    }
+}
+
+/// Comparison direction for the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Violation when the signal exceeds the threshold.
+    Above,
+    /// Violation when the signal falls below the threshold.
+    Below,
+}
+
+/// One declarative health rule.
+#[derive(Debug, Clone)]
+pub struct RuleSpec {
+    /// Stable identifier (appears in findings and reports).
+    pub id: String,
+    /// Human-readable description of what a violation means.
+    pub description: String,
+    /// The watched signal.
+    pub signal: Signal,
+    /// Window for windowed signals (rates and counts), seconds.
+    /// Instantaneous signals ignore it.
+    pub window_s: f64,
+    /// The threshold the signal is compared against.
+    pub threshold: f64,
+    /// Violation direction.
+    pub cmp: Cmp,
+    /// Severity of findings this rule emits.
+    pub severity: Severity,
+}
+
+impl RuleSpec {
+    fn violated(&self, value: f64) -> bool {
+        match self.cmp {
+            Cmp::Above => value > self.threshold,
+            Cmp::Below => value < self.threshold,
+        }
+    }
+}
+
+/// The default fleet health-rule set.
+#[must_use]
+pub fn default_rules() -> Vec<RuleSpec> {
+    vec![
+        RuleSpec {
+            id: "brownout".to_owned(),
+            description: "load went unserved (realized brownout)".to_owned(),
+            signal: Signal::UnmetPowerW,
+            window_s: 0.0,
+            threshold: 1e-6,
+            cmp: Cmp::Above,
+            severity: Severity::Critical,
+        },
+        RuleSpec {
+            id: "soc-sag".to_owned(),
+            description: "pack draining faster than 40 %/h over 15 min (brownout precursor)"
+                .to_owned(),
+            signal: Signal::SocSagRatePerHour,
+            window_s: 900.0,
+            threshold: 0.40,
+            cmp: Cmp::Above,
+            severity: Severity::Warning,
+        },
+        RuleSpec {
+            id: "ccb-imbalance".to_owned(),
+            description: "SoC spread across the pack beyond 35 % (wear-imbalance drift)".to_owned(),
+            signal: Signal::SocSpread,
+            window_s: 0.0,
+            threshold: 0.35,
+            cmp: Cmp::Above,
+            severity: Severity::Warning,
+        },
+        RuleSpec {
+            id: "thermal-oscillation".to_owned(),
+            description: "more than 4 thermal-throttle transitions in 30 min (derate flapping)"
+                .to_owned(),
+            signal: Signal::ThermalTransitionsInWindow,
+            window_s: 1800.0,
+            threshold: 4.0,
+            cmp: Cmp::Above,
+            severity: Severity::Warning,
+        },
+        RuleSpec {
+            id: "directive-thrash".to_owned(),
+            description: "more than 8 accepted ratio pushes in 10 min (policy thrash)".to_owned(),
+            signal: Signal::DirectivePushesInWindow,
+            window_s: 600.0,
+            threshold: 8.0,
+            cmp: Cmp::Above,
+            severity: Severity::Info,
+        },
+    ]
+}
+
+/// One rule violation on one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthFinding {
+    /// The violated rule's id.
+    pub rule: String,
+    /// Device the violation occurred on.
+    pub device: u64,
+    /// Simulation time of the rising edge, seconds.
+    pub t_s: f64,
+    /// The signal value that crossed the threshold.
+    pub value: f64,
+    /// Severity inherited from the rule.
+    pub severity: Severity,
+}
+
+/// Windowed per-`(device, rule)` evaluation state.
+#[derive(Debug, Default)]
+struct RuleState {
+    /// `(t_s, value)` samples inside the window (value is 1.0 for count
+    /// signals).
+    window: VecDeque<(f64, f64)>,
+    /// Whether the rule is currently latched in violation.
+    active: bool,
+}
+
+/// Per-rule evaluation statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleStats {
+    /// Times the rule's signal was evaluated against its threshold.
+    pub evaluations: u64,
+    /// Findings emitted (rising edges).
+    pub findings: u64,
+    /// Devices with at least one finding.
+    pub devices_affected: u64,
+}
+
+/// Evaluates a rule set incrementally over a (device-tagged) event stream.
+#[derive(Debug)]
+pub struct RuleEngine {
+    rules: Vec<RuleSpec>,
+    states: BTreeMap<(u64, usize), RuleState>,
+    affected: BTreeMap<usize, Vec<u64>>,
+    stats: Vec<RuleStats>,
+    findings: Vec<HealthFinding>,
+}
+
+impl RuleEngine {
+    /// An engine evaluating `rules`.
+    #[must_use]
+    pub fn new(rules: Vec<RuleSpec>) -> Self {
+        let stats = vec![RuleStats::default(); rules.len()];
+        Self {
+            rules,
+            states: BTreeMap::new(),
+            affected: BTreeMap::new(),
+            stats,
+            findings: Vec::new(),
+        }
+    }
+
+    /// An engine with the [`default_rules`] set.
+    #[must_use]
+    pub fn with_defaults() -> Self {
+        Self::new(default_rules())
+    }
+
+    /// The rules being evaluated.
+    #[must_use]
+    pub fn rules(&self) -> &[RuleSpec] {
+        &self.rules
+    }
+
+    /// Feeds one event. Events must arrive in non-decreasing `t_s` order
+    /// *per device*; interleaving across devices is fine (state is keyed
+    /// per device).
+    pub fn process(&mut self, device: u64, t_s: f64, event: &ObsEvent) {
+        for idx in 0..self.rules.len() {
+            let rule = &self.rules[idx];
+            // Extract this rule's signal sample from the event, if any.
+            let sample: Option<f64> = match (rule.signal, event) {
+                (Signal::SocSagRatePerHour, ObsEvent::StepSample { soc, .. }) => {
+                    let n = soc.len().max(1) as f64;
+                    Some(soc.iter().sum::<f64>() / n)
+                }
+                (Signal::SocSpread, ObsEvent::StepSample { soc, .. }) => {
+                    let max = soc.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let min = soc.iter().copied().fold(f64::INFINITY, f64::min);
+                    Some(if soc.is_empty() { 0.0 } else { max - min })
+                }
+                (
+                    Signal::UnmetPowerW,
+                    ObsEvent::StepSample {
+                        load_w, supplied_w, ..
+                    },
+                ) => Some((load_w - supplied_w).max(0.0)),
+                (Signal::ThermalTransitionsInWindow, ObsEvent::ThermalThrottle { .. }) => Some(1.0),
+                (
+                    Signal::DirectivePushesInWindow,
+                    ObsEvent::PolicyEvaluation { pushed: true, .. },
+                ) => Some(1.0),
+                _ => None,
+            };
+            let Some(sample) = sample else { continue };
+
+            let state = self.states.entry((device, idx)).or_default();
+            // Maintain the window, then reduce it to the signal value.
+            let value = match rule.signal {
+                Signal::SocSpread | Signal::UnmetPowerW => sample,
+                Signal::SocSagRatePerHour => {
+                    state.window.push_back((t_s, sample));
+                    while let Some(&(t0, _)) = state.window.front() {
+                        if t_s - t0 > rule.window_s && state.window.len() > 2 {
+                            state.window.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    let (t0, v0) = *state.window.front().expect("window nonempty");
+                    let span_s = t_s - t0;
+                    // Need at least half a window of history for a stable
+                    // rate estimate.
+                    if span_s < rule.window_s * 0.5 {
+                        continue;
+                    }
+                    (v0 - sample) / (span_s / 3600.0)
+                }
+                Signal::ThermalTransitionsInWindow | Signal::DirectivePushesInWindow => {
+                    state.window.push_back((t_s, sample));
+                    while let Some(&(t0, _)) = state.window.front() {
+                        if t_s - t0 > rule.window_s {
+                            state.window.pop_front();
+                        } else {
+                            break;
+                        }
+                    }
+                    state.window.len() as f64
+                }
+            };
+
+            self.stats[idx].evaluations += 1;
+            let violated = rule.violated(value);
+            if violated && !state.active {
+                state.active = true;
+                self.stats[idx].findings += 1;
+                let devices = self.affected.entry(idx).or_default();
+                if devices.last() != Some(&device) && !devices.contains(&device) {
+                    devices.push(device);
+                    self.stats[idx].devices_affected += 1;
+                }
+                self.findings.push(HealthFinding {
+                    rule: rule.id.clone(),
+                    device,
+                    t_s,
+                    value,
+                    severity: rule.severity,
+                });
+            } else if !violated {
+                state.active = false;
+            }
+        }
+    }
+
+    /// Finishes evaluation, returning the report.
+    #[must_use]
+    pub fn finish(self) -> RuleReport {
+        RuleReport {
+            rules: self.rules,
+            stats: self.stats,
+            findings: self.findings,
+        }
+    }
+}
+
+/// The outcome of a rule evaluation pass.
+#[derive(Debug, Clone)]
+pub struct RuleReport {
+    /// The evaluated rules.
+    pub rules: Vec<RuleSpec>,
+    /// Per-rule statistics, parallel to `rules`.
+    pub stats: Vec<RuleStats>,
+    /// Every finding, in processing order (device order for a sorted
+    /// trace).
+    pub findings: Vec<HealthFinding>,
+}
+
+impl RuleReport {
+    /// Number of rules that evaluated their signal at least once.
+    #[must_use]
+    pub fn rules_evaluated(&self) -> usize {
+        self.stats.iter().filter(|s| s.evaluations > 0).count()
+    }
+
+    /// Findings at or above `severity`.
+    #[must_use]
+    pub fn findings_at_least(&self, severity: Severity) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity >= severity)
+            .count()
+    }
+
+    /// Renders the per-rule summary and the worst findings as text.
+    #[must_use]
+    pub fn render_text(&self, max_findings: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "rules evaluated: {} / {}  |  findings: {}",
+            self.rules_evaluated(),
+            self.rules.len(),
+            self.findings.len()
+        );
+        let _ = writeln!(
+            out,
+            "{:<20} {:>8} {:>12} {:>10} {:>9}",
+            "rule", "severity", "evaluations", "findings", "devices"
+        );
+        for (rule, stats) in self.rules.iter().zip(&self.stats) {
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>12} {:>10} {:>9}",
+                rule.id,
+                rule.severity.to_string(),
+                stats.evaluations,
+                stats.findings,
+                stats.devices_affected
+            );
+        }
+        if !self.findings.is_empty() {
+            let mut worst: Vec<&HealthFinding> = self.findings.iter().collect();
+            worst.sort_by(|a, b| {
+                b.severity
+                    .cmp(&a.severity)
+                    .then(a.device.cmp(&b.device))
+                    .then(a.t_s.total_cmp(&b.t_s))
+            });
+            let shown = worst.len().min(max_findings);
+            let _ = writeln!(out, "top findings ({shown} of {}):", worst.len());
+            for f in &worst[..shown] {
+                let _ = writeln!(
+                    out,
+                    "  [{:>8}] device {:>5} t={:>9.1}s {} = {:.4}",
+                    f.severity.to_string(),
+                    f.device,
+                    f.t_s,
+                    f.rule,
+                    f.value
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the report as deterministic JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"rules\":[");
+        for (i, (rule, stats)) in self.rules.iter().zip(&self.stats).enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"id\":\"{}\",\"signal\":\"{}\",\"severity\":\"{}\",\"window_s\":{:?},\"threshold\":{:?},\"evaluations\":{},\"findings\":{},\"devices_affected\":{}}}",
+                rule.id,
+                rule.signal.name(),
+                rule.severity,
+                rule.window_s,
+                rule.threshold,
+                stats.evaluations,
+                stats.findings,
+                stats.devices_affected
+            );
+        }
+        out.push_str("],\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"rule\":\"{}\",\"device\":{},\"t_s\":{:?},\"value\":{:?},\"severity\":\"{}\"}}",
+                f.rule, f.device, f.t_s, f.value, f.severity
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(soc: Vec<f64>, load_w: f64, supplied_w: f64) -> ObsEvent {
+        let n = soc.len();
+        ObsEvent::StepSample {
+            load_w,
+            supplied_w,
+            loss_w: 0.0,
+            soc,
+            current_a: vec![0.0; n],
+        }
+    }
+
+    #[test]
+    fn brownout_fires_once_per_episode() {
+        let mut eng = RuleEngine::with_defaults();
+        // Served, unserved, unserved (latched), served, unserved again.
+        for (t, sup) in [
+            (60.0, 5.0),
+            (120.0, 3.0),
+            (180.0, 3.0),
+            (240.0, 5.0),
+            (300.0, 2.0),
+        ] {
+            eng.process(0, t, &step(vec![0.5, 0.5], 5.0, sup));
+        }
+        let report = eng.finish();
+        let brownouts: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "brownout")
+            .collect();
+        assert_eq!(brownouts.len(), 2, "{:?}", report.findings);
+        assert_eq!(brownouts[0].t_s, 120.0);
+        assert_eq!(brownouts[1].t_s, 300.0);
+        assert_eq!(brownouts[0].severity, Severity::Critical);
+    }
+
+    #[test]
+    fn sag_rate_needs_window_history() {
+        let mut eng = RuleEngine::with_defaults();
+        // 60 s steps, mean SoC falling 1 %/min = 60 %/h — over threshold,
+        // but only after ≥450 s of history.
+        for i in 0..20u64 {
+            let t = 60.0 * (i + 1) as f64;
+            let soc = 1.0 - 0.01 * (i + 1) as f64;
+            eng.process(7, t, &step(vec![soc, soc], 1.0, 1.0));
+        }
+        let report = eng.finish();
+        let sag: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "soc-sag")
+            .collect();
+        assert_eq!(sag.len(), 1, "sustained sag latches to one finding");
+        assert!(sag[0].t_s >= 480.0, "fired too early at {}", sag[0].t_s);
+        assert!((sag[0].value - 0.6).abs() < 0.05, "rate {}", sag[0].value);
+    }
+
+    #[test]
+    fn soc_spread_flags_imbalance() {
+        let mut eng = RuleEngine::with_defaults();
+        eng.process(2, 60.0, &step(vec![0.9, 0.8], 1.0, 1.0));
+        eng.process(2, 120.0, &step(vec![0.9, 0.4], 1.0, 1.0));
+        let report = eng.finish();
+        let imb: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "ccb-imbalance")
+            .collect();
+        assert_eq!(imb.len(), 1);
+        assert!((imb[0].value - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn thermal_oscillation_counts_in_window() {
+        let mut eng = RuleEngine::with_defaults();
+        let throttle = |engaged| ObsEvent::ThermalThrottle {
+            battery: 0,
+            engaged,
+            temperature_c: 45.0,
+        };
+        // 5 transitions within 30 min → count exceeds 4 on the fifth.
+        for i in 0..5u64 {
+            eng.process(1, 120.0 * (i + 1) as f64, &throttle(i % 2 == 0));
+        }
+        let report = eng.finish();
+        assert_eq!(
+            report
+                .findings
+                .iter()
+                .filter(|f| f.rule == "thermal-oscillation")
+                .count(),
+            1
+        );
+        // Spread far apart (outside the window) the same count is fine.
+        let mut eng = RuleEngine::with_defaults();
+        for i in 0..5u64 {
+            eng.process(1, 2000.0 * (i + 1) as f64, &throttle(i % 2 == 0));
+        }
+        assert_eq!(eng.finish().findings.len(), 0);
+    }
+
+    #[test]
+    fn directive_thrash_counts_only_pushed_evaluations() {
+        let mut eng = RuleEngine::with_defaults();
+        let eval = |pushed| ObsEvent::PolicyEvaluation {
+            pushed,
+            charge_directive: 0.5,
+            discharge_directive: 0.5,
+        };
+        for i in 0..20u64 {
+            eng.process(0, 30.0 * (i + 1) as f64, &eval(i % 2 == 0));
+        }
+        // 10 pushes in 600 s window: the window holds ≤10 pushed samples →
+        // crosses the >8 threshold.
+        let report = eng.finish();
+        assert_eq!(
+            report
+                .findings
+                .iter()
+                .filter(|f| f.rule == "directive-thrash")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn devices_are_tracked_independently() {
+        let mut eng = RuleEngine::with_defaults();
+        eng.process(0, 60.0, &step(vec![0.9, 0.3], 1.0, 1.0));
+        eng.process(1, 60.0, &step(vec![0.9, 0.3], 1.0, 1.0));
+        let report = eng.finish();
+        let imb: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| f.rule == "ccb-imbalance")
+            .collect();
+        assert_eq!(imb.len(), 2);
+        let idx = report
+            .rules
+            .iter()
+            .position(|r| r.id == "ccb-imbalance")
+            .unwrap();
+        assert_eq!(report.stats[idx].devices_affected, 2);
+    }
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let mut eng = RuleEngine::with_defaults();
+        eng.process(0, 60.0, &step(vec![0.9, 0.3], 5.0, 4.0));
+        let report = eng.finish();
+        assert!(report.rules_evaluated() >= 2);
+        assert!(report.findings_at_least(Severity::Critical) >= 1);
+        let text = report.render_text(10);
+        assert!(text.contains("rules evaluated:"));
+        assert!(text.contains("brownout"));
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"rule\":\"brownout\""));
+        // Determinism: rendering twice is byte-identical.
+        assert_eq!(json, report.to_json());
+    }
+}

@@ -3,11 +3,14 @@
 //! ```text
 //! sdb packs                                  list built-in packs
 //! sdb traces                                 list built-in traces
-//! sdb sim    --pack watch --trace watch-day [--policy preserve|rbl|ccb|blend:<v>] [--seed N]
+//! sdb sim    --pack watch --trace watch-day [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--events-out <jsonl>]
 //! sdb sim    --pack phone --trace-file captured.csv   (CSV: dur_s,load_w[,external_w])
 //! sdb charge --pack tablet-hybrid --watts 45 [--directive <0..1>] [--target <pct>]
 //! sdb status --pack phone [--soc <0..1>]     show QueryBatteryStatus + ACPI view
 //! sdb fleet  --devices 10000 --threads 8 --seed 42 [--hours H] [--json] [--metrics-out <path>]
+//!            [--events-out <jsonl>] [--trace-out <jsonl>]   (trace-out also writes a Perfetto-loadable .chrome.json)
+//! sdb analyze --trace <jsonl> [--json]       replay a recorded trace through the health rules
+//! sdb analyze --devices 200 --seed 42 [--hours H] [--threads N] [--json]   run a fleet inline and analyze it
 //! ```
 
 use sdb::battery_model::{library, BatterySpec, Chemistry};
@@ -16,6 +19,8 @@ use sdb::core::runtime::SdbRuntime;
 use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
 use sdb::emulator::{acpi, Microcontroller, PackBuilder, ProfileKind};
 use sdb::fleet;
+use sdb::observe::{Observer, TraceCollector};
+use sdb::trace as sdbtrace;
 use sdb::workloads::traces::{phone_day, tablet_session, watch_day, Trace};
 use sdb::workloads::Activity;
 use std::collections::HashMap;
@@ -167,9 +172,19 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--json] [--out <path>] [--metrics-out <path>]"
+        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]"
     );
     ExitCode::FAILURE
+}
+
+/// Derives the Chrome-export path from a JSONL trace path:
+/// `fleet.jsonl` → `fleet.chrome.json`, anything else gets `.chrome.json`
+/// appended.
+fn chrome_path(jsonl_path: &str) -> String {
+    match jsonl_path.strip_suffix(".jsonl") {
+        Some(stem) => format!("{stem}.chrome.json"),
+        None => format!("{jsonl_path}.chrome.json"),
+    }
 }
 
 fn cmd_sim(flags: &HashMap<String, String>) -> ExitCode {
@@ -204,6 +219,16 @@ fn cmd_sim(flags: &HashMap<String, String>) -> ExitCode {
         }
     };
     let mut runtime = SdbRuntime::new(micro.battery_count());
+    // With --events-out, attach an observer with a trace collector so the
+    // run's event stream (device 0) can be dumped as JSONL afterwards.
+    let collector = flags.get("events-out").map(|_| {
+        let obs = Observer::new();
+        let shared = TraceCollector::shared();
+        obs.add_sink(Box::new(shared.clone()));
+        micro.set_observer(obs.clone());
+        runtime.set_observer(obs);
+        shared
+    });
     match flags.get("policy").map(String::as_str).unwrap_or("rbl") {
         "preserve" => runtime.set_preserve(Some(PreservePolicy::new(0, 1, 0.3))),
         "rbl" => runtime.set_discharge_directive(DischargeDirective::new(1.0)),
@@ -221,6 +246,15 @@ fn cmd_sim(flags: &HashMap<String, String>) -> ExitCode {
         }
     }
     let result = run_trace(&mut micro, &mut runtime, &trace, &SimOptions::default());
+    if let (Some(collector), Some(path)) = (collector, flags.get("events-out")) {
+        let events = collector.lock().expect("collector lock").drain();
+        let jsonl = sdbtrace::to_jsonl(&events);
+        if let Err(e) = std::fs::write(path, jsonl) {
+            eprintln!("failed to write events to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {} events to {path}", events.len());
+    }
     let mut out = String::new();
     let _ = writeln!(out, "pack:          {pack_name}");
     let _ = writeln!(
@@ -386,13 +420,39 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
         .unwrap_or(4.0);
 
     let spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
-    let (report, stats) = match fleet::run_fleet(&spec, threads) {
+    let capture = flags.contains_key("trace-out") || flags.contains_key("events-out");
+    let (report, stats, events) = match fleet::run_fleet_captured(&spec, threads, capture) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fleet run failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(events) = &events {
+        let jsonl = sdbtrace::to_jsonl(events);
+        if let Some(path) = flags.get("events-out") {
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("failed to write events to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} events to {path}", events.len());
+        }
+        // --trace-out writes the replayable JSONL plus a Perfetto-loadable
+        // Chrome trace_event export next to it.
+        if let Some(path) = flags.get("trace-out") {
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("failed to write trace to {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let chrome = chrome_path(path);
+            if let Err(e) = std::fs::write(&chrome, sdbtrace::to_chrome(events)) {
+                eprintln!("failed to write chrome trace to {chrome}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} events to {path} (+ {chrome})", events.len());
+        }
+    }
 
     if let Some(path) = flags.get("metrics-out") {
         let text = if path.ends_with(".json") {
@@ -432,6 +492,91 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Replays a recorded JSONL trace — or runs a fleet inline — through the
+/// default health-rule set and prints the findings. Inline mode also
+/// cross-checks the streaming quantile sketches against the exact report
+/// percentiles.
+fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
+    let max_findings: usize = flags
+        .get("max-findings")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let json = flags.contains_key("json");
+
+    if let Some(path) = flags.get("trace") {
+        // Replay mode: analyze a trace file recorded by `--trace-out` /
+        // `--events-out`.
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read trace `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let analysis = match sdbtrace::analyze_jsonl(&text, sdbtrace::default_rules()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("cannot parse trace `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let body = if json {
+            let mut s = analysis.to_json();
+            s.push('\n');
+            s
+        } else {
+            analysis.render_text(max_findings)
+        };
+        emit(&body);
+        return ExitCode::SUCCESS;
+    }
+
+    // Inline mode: run a fleet with event capture and analyze it in-process.
+    let devices: usize = flags
+        .get("devices")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let hours: f64 = flags
+        .get("hours")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0);
+    let spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
+    let (report, stats, events) = match fleet::run_fleet_captured(&spec, threads, true) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = events.expect("capture was requested");
+    let analysis = sdbtrace::analyze(&events, sdbtrace::default_rules());
+    let deltas = stats.sketches.deltas(&report);
+
+    let body = if json {
+        format!(
+            "{{\"trace\":{},\"sketch_deltas\":{}}}\n",
+            analysis.to_json(),
+            fleet::render_deltas_json(&deltas)
+        )
+    } else {
+        format!(
+            "{}sketch vs exact percentiles (alpha = {}):\n{}",
+            analysis.render_text(max_findings),
+            fleet::FLEET_SKETCH_ALPHA,
+            fleet::render_deltas_text(&deltas)
+        )
+    };
+    emit(&body);
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = parse_flags(&args[1.min(args.len())..]);
@@ -456,6 +601,7 @@ fn main() -> ExitCode {
         Some("charge") => cmd_charge(&flags),
         Some("status") => cmd_status(&flags),
         Some("fleet") => cmd_fleet(&flags),
+        Some("analyze") => cmd_analyze(&flags),
         _ => usage(),
     }
 }

@@ -25,6 +25,9 @@
 //!   deterministic population sampling, work-queue parallelism over
 //!   `std::thread::scope`, and fleet reports that are bit-identical for
 //!   any thread count.
+//! * [`trace`] — causal trace capture and analysis: JSONL and Chrome
+//!   `trace_event` (Perfetto) export of the event stream, trace replay,
+//!   and a declarative anomaly/health-rule engine behind `sdb analyze`.
 //!
 //! ## Quickstart
 //!
@@ -67,4 +70,5 @@ pub use sdb_fleet as fleet;
 pub use sdb_fuel_gauge as fuel_gauge;
 pub use sdb_observe as observe;
 pub use sdb_power_electronics as power_electronics;
+pub use sdb_trace as trace;
 pub use sdb_workloads as workloads;
