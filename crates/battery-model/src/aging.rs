@@ -137,6 +137,17 @@ pub struct AgingState {
     crate_accum: f64,
     /// Charge (fraction of capacity) accumulated into `crate_accum`.
     crate_weight: f64,
+    /// Cached [`AgingState::resistance_multiplier`]: queried on every
+    /// resistance lookup in the hot loop but only changes when
+    /// `capacity_fraction` does (at cycle completions).
+    res_mult: f64,
+}
+
+/// DCIR growth for a given remaining-capacity fraction: resistance rises
+/// ~60 % by the time the cell reaches its 80 % warranty capacity.
+fn resistance_multiplier_for(capacity_fraction: f64) -> f64 {
+    let lost = 1.0 - capacity_fraction;
+    1.0 + 0.6 * (lost / (1.0 - WARRANTY_CAPACITY_FRACTION))
 }
 
 impl AgingState {
@@ -149,6 +160,7 @@ impl AgingState {
             capacity_fraction: 1.0,
             crate_accum: 0.0,
             crate_weight: 0.0,
+            res_mult: resistance_multiplier_for(1.0),
         }
     }
 
@@ -177,6 +189,7 @@ impl AgingState {
                 };
                 self.capacity_fraction =
                     (self.capacity_fraction - self.fade.loss_per_cycle(mean_c)).max(0.10);
+                self.res_mult = resistance_multiplier_for(self.capacity_fraction);
                 self.crate_accum = 0.0;
                 self.crate_weight = 0.0;
             }
@@ -203,8 +216,7 @@ impl AgingState {
     /// typically increases with the age of the battery", Section 2.1).
     #[must_use]
     pub fn resistance_multiplier(&self) -> f64 {
-        let lost = 1.0 - self.capacity_fraction;
-        1.0 + 0.6 * (lost / (1.0 - WARRANTY_CAPACITY_FRACTION))
+        self.res_mult
     }
 
     /// Wear ratio `λ = cc / χ` from Section 3.3, given the tolerable cycle

@@ -56,7 +56,7 @@ pub mod units;
 
 pub use aging::{AgingState, CycleCounter, FadeModel};
 pub use chemistry::{AxisScores, Chemistry};
-pub use curves::Curve;
+pub use curves::{Curve, CurveCursor, CurveLut};
 pub use error::BatteryError;
 pub use reference::ReferenceCell;
 pub use spec::BatterySpec;

@@ -18,9 +18,11 @@
 //! as `dVrc/dt = (I·Rc − Vrc) / (Rc·Cp)`.
 
 use crate::aging::AgingState;
+use crate::curves::CurveCursor;
 use crate::error::BatteryError;
 use crate::spec::BatterySpec;
 use crate::thermal::{resistance_multiplier_at, ThermalModel};
+use std::sync::Arc;
 
 /// Result of one simulation step.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,10 +51,16 @@ pub struct StepOutcome {
 /// accounting.
 #[derive(Debug, Clone)]
 pub struct TheveninCell {
-    spec: BatterySpec,
+    /// Shared, immutable cell parameterization. `Arc` so a fleet of cells
+    /// built from one template shares a single copy of the curve tables.
+    spec: Arc<BatterySpec>,
     soc: f64,
     /// RC-branch (concentration) voltage, volts. Positive during discharge.
     v_rc: f64,
+    /// Segment memo for OCP curve lookups (SoC drifts slowly per step).
+    ocp_cur: CurveCursor,
+    /// Segment memo for DCIR curve lookups.
+    dcir_cur: CurveCursor,
     aging: AgingState,
     /// Total energy delivered to the load over the cell's life, joules.
     energy_out_j: f64,
@@ -64,6 +72,12 @@ pub struct TheveninCell {
     /// it and the ohmic resistance follows the Arrhenius temperature
     /// dependence.
     thermal: Option<ThermalModel>,
+    /// Memo key for [`Self::rc_alpha`]: the bit pattern of the last `dt`
+    /// the RC relaxation factor was computed for (τ is fixed by the spec,
+    /// and simulations step with a fixed `dt`, so one entry suffices).
+    rc_alpha_dt_bits: u64,
+    /// Memoized `exp(-dt/τ)` for the `dt` above.
+    rc_alpha: f64,
 }
 
 impl TheveninCell {
@@ -74,18 +88,33 @@ impl TheveninCell {
     /// Panics if the spec fails validation; construct specs through
     /// [`BatterySpec::from_chemistry`] or validate them first.
     #[must_use]
-    pub fn new(spec: BatterySpec) -> Self {
+    pub fn new(spec: impl Into<Arc<BatterySpec>>) -> Self {
+        let spec = spec.into();
         spec.validate().expect("invalid battery spec");
         Self {
             aging: AgingState::new(&spec),
             spec,
             soc: 1.0,
             v_rc: 0.0,
+            ocp_cur: CurveCursor::new(),
+            dcir_cur: CurveCursor::new(),
             energy_out_j: 0.0,
             energy_in_j: 0.0,
             heat_j: 0.0,
             thermal: None,
+            rc_alpha_dt_bits: f64::NAN.to_bits(),
+            rc_alpha: 1.0,
         }
+    }
+
+    /// `exp(-dt/τ)` with a one-entry memo keyed on the `dt` bit pattern.
+    /// Bit-identical to recomputing: equal input bits give an equal `exp`.
+    fn rc_alpha(&mut self, dt: f64, tau: f64) -> f64 {
+        if dt.to_bits() != self.rc_alpha_dt_bits {
+            self.rc_alpha_dt_bits = dt.to_bits();
+            self.rc_alpha = (-dt / tau).exp();
+        }
+        self.rc_alpha
     }
 
     /// Attaches a lumped thermal model: the cell's resistive heat drives
@@ -109,7 +138,7 @@ impl TheveninCell {
     ///
     /// Panics if the spec is invalid or `soc` is outside `[0, 1]`.
     #[must_use]
-    pub fn with_soc(spec: BatterySpec, soc: f64) -> Self {
+    pub fn with_soc(spec: impl Into<Arc<BatterySpec>>, soc: f64) -> Self {
         assert!((0.0..=1.0).contains(&soc), "soc out of range: {soc}");
         let mut cell = Self::new(spec);
         cell.soc = soc;
@@ -142,7 +171,7 @@ impl TheveninCell {
     /// Open-circuit voltage at the present SoC.
     #[must_use]
     pub fn ocv(&self) -> f64 {
-        self.spec.ocp.eval(self.soc)
+        self.spec.ocp.eval_cached(&self.ocp_cur, self.soc)
     }
 
     /// Effective ohmic resistance at the present SoC including age growth
@@ -153,14 +182,34 @@ impl TheveninCell {
             .thermal
             .as_ref()
             .map_or(1.0, |t| resistance_multiplier_at(t.temperature_c()));
-        self.spec.dcir.eval(self.soc) * self.aging.resistance_multiplier() * temp_mult
+        self.spec.dcir.eval_cached(&self.dcir_cur, self.soc)
+            * self.aging.resistance_multiplier()
+            * temp_mult
     }
 
     /// Slope of the DCIR curve at the present SoC (the `δi` of the paper's
     /// RBL allocation, Section 3.3), including age growth.
     #[must_use]
     pub fn dcir_slope(&self) -> f64 {
-        self.spec.dcir.slope(self.soc) * self.aging.resistance_multiplier()
+        self.spec.dcir.slope_cached(&self.dcir_cur, self.soc) * self.aging.resistance_multiplier()
+    }
+
+    /// [`TheveninCell::resistance_ohm`] and [`TheveninCell::dcir_slope`]
+    /// from one curve-segment search. Returns exactly the same pair of
+    /// values (same multiplications in the same order); policy code that
+    /// needs both per cell per evaluation should prefer this.
+    #[must_use]
+    pub fn resistance_and_dcir_slope(&self) -> (f64, f64) {
+        let temp_mult = self
+            .thermal
+            .as_ref()
+            .map_or(1.0, |t| resistance_multiplier_at(t.temperature_c()));
+        let (r, s) = self
+            .spec
+            .dcir
+            .value_and_slope_cached(&self.dcir_cur, self.soc);
+        let age = self.aging.resistance_multiplier();
+        (r * age * temp_mult, s * age)
     }
 
     /// Present usable capacity in amp-hours (rated capacity × fade).
@@ -189,7 +238,9 @@ impl TheveninCell {
         }
         for k in 0..n {
             let mid = (k as f64 + 0.5) * step;
-            wh += self.spec.ocp.eval(mid) * step * cap;
+            // Ascending sweep: the cursor turns 32 binary searches into
+            // 32 adjacent-segment probes.
+            wh += self.spec.ocp.eval_cached(&self.ocp_cur, mid) * step * cap;
         }
         wh
     }
@@ -198,7 +249,34 @@ impl TheveninCell {
     /// (positive = discharge) without advancing time.
     #[must_use]
     pub fn terminal_voltage(&self, current_a: f64) -> f64 {
+        if current_a == 0.0 {
+            // Skip the resistance lookup: `ocv - 0.0·r - v_rc` is
+            // bit-identical to `ocv - v_rc` for any finite `r`.
+            return self.ocv() - self.v_rc;
+        }
         self.ocv() - current_a * self.resistance_ohm() - self.v_rc
+    }
+
+    /// Maximum power a discharge planner may allocate to this cell for a
+    /// step of `dt_s` seconds: the minimum of the power at the rated
+    /// current cap, the quadratic deliverable maximum
+    /// ([`TheveninCell::max_power_w`]), and what the remaining charge can
+    /// sustain for the whole step. Computes the OCV and resistance once;
+    /// the result is bit-identical to composing the three public queries.
+    #[must_use]
+    pub fn plan_discharge_cap_w(&self, dt_s: f64) -> f64 {
+        let v0 = self.ocv();
+        let r0 = self.resistance_ohm();
+        let i_max = self.spec.max_discharge_a;
+        // Power at the rated current (terminal voltage is linear in I, so
+        // this is exact at the cap).
+        let p_at_imax = ((v0 - i_max * r0 - self.v_rc) * i_max).max(0.0);
+        let v_eff = v0 - self.v_rc;
+        let i_peak = (v_eff / (2.0 * r0)).min(i_max);
+        let p_quad = i_peak * (v_eff - i_peak * r0);
+        // Energy bound: no more than the charge left can sustain.
+        let p_energy = self.remaining_ah() * 3600.0 * v0 / dt_s;
+        p_at_imax.min(p_quad).min(p_energy)
     }
 
     /// Aging bookkeeping (cycles, capacity fraction, wear ratio).
@@ -321,7 +399,7 @@ impl TheveninCell {
         let v_rc_before = self.v_rc;
         if tau > 0.0 {
             if dt_used > 0.0 {
-                let alpha = (-dt_used / tau).exp();
+                let alpha = self.rc_alpha(dt_used, tau);
                 self.v_rc = target + (self.v_rc - target) * alpha;
             }
             // dt_used == 0: no time passes, the branch voltage holds.
@@ -343,8 +421,11 @@ impl TheveninCell {
             .thermal
             .as_ref()
             .map_or(1.0, |t| resistance_multiplier_at(t.temperature_c()));
-        let r0 = self.spec.dcir.eval(soc_mid) * self.aging.resistance_multiplier() * temp_mult;
-        let terminal_v = self.spec.ocp.eval(soc_mid) - current_a * r0 - v_rc_mid;
+        let r0 = self.spec.dcir.eval_cached(&self.dcir_cur, soc_mid)
+            * self.aging.resistance_multiplier()
+            * temp_mult;
+        let terminal_v =
+            self.spec.ocp.eval_cached(&self.ocp_cur, soc_mid) - current_a * r0 - v_rc_mid;
         let heat_w = current_a * current_a * r0
             + v_rc_mid * v_rc_mid / self.spec.concentration_r_ohm.max(f64::EPSILON);
         let delivered_w = terminal_v * current_a;
@@ -436,7 +517,7 @@ impl TheveninCell {
         let tau = self.spec.concentration_r_ohm * self.spec.plate_c_f;
         if tau > 0.0 {
             if dt_s > 0.0 {
-                self.v_rc *= (-dt_s / tau).exp();
+                self.v_rc *= self.rc_alpha(dt_s, tau);
             }
             // dt_s <= 0: no time passes, the branch voltage holds.
         } else {

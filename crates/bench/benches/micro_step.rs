@@ -1,0 +1,128 @@
+#![allow(missing_docs)]
+//! Micro-step hot-loop bench with an allocation regression guard.
+//!
+//! Measures ns/step and steps/sec for small packs (the sizes whose
+//! per-battery report detail fits inline in [`BatterySteps`]), and — under
+//! a counting global allocator — measures heap allocations per step at
+//! steady state, asserting the hot loop stays allocation-free. Writes
+//! `BENCH_micro.json` at the repository root (override the path with
+//! `SDB_BENCH_MICRO_OUT`); CI uploads the file and greps for
+//! `"allocs_per_step_max":0.0`.
+
+use sdb_battery_model::chemistry::Chemistry;
+use sdb_battery_model::spec::BatterySpec;
+use sdb_bench::harness::{format_ns, Harness};
+use sdb_emulator::micro::Microcontroller;
+use sdb_emulator::pack::PackBuilder;
+use sdb_emulator::profile::ProfileKind;
+use sdb_testkit::{alloc_counter, CountingAllocator};
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+/// Steps per routine call: long enough to amortize timer reads, short
+/// enough that calibration converges quickly.
+const STEPS_PER_CALL: u64 = 100;
+
+fn pack_of(n: usize) -> Microcontroller {
+    let chems = [
+        Chemistry::Type2CoStandard,
+        Chemistry::Type3CoPower,
+        Chemistry::Type1LfpPower,
+        Chemistry::OtherNmc,
+    ];
+    let mut b = PackBuilder::new();
+    for i in 0..n {
+        b = b.battery_at(
+            BatterySpec::from_chemistry(&format!("cell{i}"), chems[i % chems.len()], 2.0),
+            0.9,
+            ProfileKind::Standard,
+        );
+    }
+    b.build()
+}
+
+/// Allocations per step at steady state: warm a fresh pack up (scratch
+/// buffers grow, cursors settle), then count over many steps.
+fn allocs_per_step(n: usize) -> f64 {
+    let mut micro = pack_of(n);
+    let load = 3.0 * n as f64;
+    for _ in 0..50 {
+        black_box(micro.step(load, 0.0, 1.0));
+    }
+    let steps = 1000u64;
+    let before = alloc_counter::allocs();
+    for _ in 0..steps {
+        black_box(micro.step(load, 0.0, 1.0));
+    }
+    (alloc_counter::allocs() - before) as f64 / steps as f64
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    let sizes = [2usize, 4, 8];
+    let mut rows = Vec::new();
+
+    for &n in &sizes {
+        // Template cloned per iteration so every measurement starts from
+        // the same SoC; the 100-step routine is dominated by warm steps.
+        let template = pack_of(n);
+        let load = 3.0 * n as f64;
+        h.bench_batched_scaled(
+            &format!("micro_step/{n}"),
+            STEPS_PER_CALL,
+            || template.clone(),
+            |mut micro| {
+                for _ in 0..STEPS_PER_CALL {
+                    black_box(micro.step(load, 0.0, 1.0));
+                }
+                micro
+            },
+        );
+        let ns_per_step = h.results().last().expect("bench recorded").min_ns;
+        let allocs = allocs_per_step(n);
+        println!(
+            "  pack {n}: {} per step, {:.0} steps/sec, {allocs} allocs/step",
+            format_ns(ns_per_step),
+            1e9 / ns_per_step
+        );
+        rows.push((n, ns_per_step, allocs));
+    }
+    h.finish();
+
+    let max_allocs = rows.iter().map(|r| r.2).fold(0.0f64, f64::max);
+    assert!(
+        max_allocs == 0.0,
+        "steady-state micro step allocated (max {max_allocs}/step) — the hot \
+         loop regressed"
+    );
+
+    let mut json = String::new();
+    json.push_str("{\"bench\":\"micro_step\",\"steps_per_call\":");
+    let _ = write!(json, "{STEPS_PER_CALL}");
+    json.push_str(",\"packs\":[");
+    for (i, (n, ns, allocs)) in rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let steps_per_sec = 1e9 / ns;
+        let _ = write!(
+            json,
+            "{{\"batteries\":{n},\"ns_per_step\":{ns:?},\"steps_per_sec\":{steps_per_sec:?},\"allocs_per_step\":{allocs:?}}}"
+        );
+    }
+    let _ = write!(
+        json,
+        "],\"allocs_per_step_max\":{max_allocs:?},\"host_cpus\":{}}}",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    );
+
+    let path = std::env::var("SDB_BENCH_MICRO_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_micro.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}

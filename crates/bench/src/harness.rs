@@ -158,6 +158,56 @@ impl Harness {
         self.record(name, iters, per_iter.as_mut_slice());
     }
 
+    /// Like [`Harness::bench_batched`], but the routine performs `units`
+    /// logical operations per call and the recorded numbers are divided by
+    /// `units` — so a routine that steps an emulator 100 times reports
+    /// ns/step rather than ns/routine-call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn bench_batched_scaled<S, T>(
+        &mut self,
+        name: &str,
+        units: u64,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        assert!(units > 0, "units must be positive");
+        if self.skip(name) {
+            return;
+        }
+        let target = self.target_sample();
+        let mut iters: u64 = 1;
+        loop {
+            let mut measured = Duration::ZERO;
+            for _ in 0..iters {
+                let s = setup();
+                let start = Instant::now();
+                black_box(routine(black_box(s)));
+                measured += start.elapsed();
+            }
+            if measured >= target || iters >= 1 << 30 {
+                break;
+            }
+            let scale = target.as_secs_f64() / measured.as_secs_f64().max(1e-9);
+            iters = (iters * 2).max((iters as f64 * scale).ceil() as u64);
+        }
+        let mut per_unit: Vec<f64> = (0..self.sample_count())
+            .map(|_| {
+                let mut measured = Duration::ZERO;
+                for _ in 0..iters {
+                    let s = setup();
+                    let start = Instant::now();
+                    black_box(routine(black_box(s)));
+                    measured += start.elapsed();
+                }
+                measured.as_nanos() as f64 / (iters * units) as f64
+            })
+            .collect();
+        self.record(name, iters, per_unit.as_mut_slice());
+    }
+
     /// Measures `f` exactly once per sample with a small sample count, for
     /// multi-second end-to-end jobs where calibration would be wasteful.
     pub fn bench_heavy<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {

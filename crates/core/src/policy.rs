@@ -69,11 +69,13 @@ impl PolicyInput {
                 // directions: report it empty and full so no policy routes
                 // power to it.
                 let present = micro.battery_present(i);
+                // One curve walk yields both the DCIR value and its slope.
+                let (r0, dcir_slope) = cell.resistance_and_dcir_slope();
                 BatteryView {
                     soc: cell.soc(),
                     ocv_v: cell.ocv(),
-                    resistance_ohm: cell.resistance_ohm() + cell.spec().concentration_r_ohm,
-                    dcir_slope: cell.dcir_slope().abs(),
+                    resistance_ohm: r0 + cell.spec().concentration_r_ohm,
+                    dcir_slope: dcir_slope.abs(),
                     wear: cell.wear_ratio(),
                     capacity_ah: cell.spec().capacity_ah,
                     max_discharge_a: cell.spec().max_discharge_a,

@@ -98,7 +98,152 @@ pub struct StepReport {
     /// Power delivered *into* cells while charging, watts.
     pub charged_w: f64,
     /// Per-battery detail.
-    pub batteries: Vec<BatteryStepInfo>,
+    pub batteries: BatterySteps,
+}
+
+/// Per-battery step details for a [`StepReport`].
+///
+/// Behaves like a boxed slice of [`BatteryStepInfo`] (it derefs to
+/// `[BatteryStepInfo]`, so indexing, `iter()`, `len()`, and `for` loops
+/// all work), but stores up to [`BatterySteps::INLINE`] entries inline:
+/// reporting a step for a typical pack (the paper's devices have 2–4
+/// batteries) performs no heap allocation. Larger packs spill to a `Vec`.
+#[derive(Clone)]
+pub struct BatterySteps {
+    len: usize,
+    inline: [BatteryStepInfo; Self::INLINE],
+    spill: Vec<BatteryStepInfo>,
+}
+
+impl BatterySteps {
+    /// Maximum entry count stored without a heap allocation.
+    pub const INLINE: usize = 8;
+
+    const EMPTY: BatteryStepInfo = BatteryStepInfo {
+        current_a: 0.0,
+        terminal_v: 0.0,
+        soc: 0.0,
+        heat_w: 0.0,
+    };
+
+    /// Copies `items` into an inline (or, beyond [`BatterySteps::INLINE`]
+    /// entries, heap-spilled) buffer.
+    #[must_use]
+    pub fn from_slice(items: &[BatteryStepInfo]) -> Self {
+        let mut inline = [Self::EMPTY; Self::INLINE];
+        if items.len() <= Self::INLINE {
+            inline[..items.len()].copy_from_slice(items);
+            Self {
+                len: items.len(),
+                inline,
+                spill: Vec::new(),
+            }
+        } else {
+            Self {
+                len: items.len(),
+                inline,
+                spill: items.to_vec(),
+            }
+        }
+    }
+
+    /// The entries as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[BatteryStepInfo] {
+        if self.len <= Self::INLINE {
+            &self.inline[..self.len]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The entries as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [BatteryStepInfo] {
+        if self.len <= Self::INLINE {
+            &mut self.inline[..self.len]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for BatterySteps {
+    type Target = [BatteryStepInfo];
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for BatterySteps {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        self.as_mut_slice()
+    }
+}
+
+impl std::fmt::Debug for BatterySteps {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl PartialEq for BatterySteps {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a BatterySteps {
+    type Item = &'a BatteryStepInfo;
+    type IntoIter = std::slice::Iter<'a, BatteryStepInfo>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a mut BatterySteps {
+    type Item = &'a mut BatteryStepInfo;
+    type IntoIter = std::slice::IterMut<'a, BatteryStepInfo>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+/// Preallocated working buffers for [`Microcontroller::step`].
+///
+/// The step loop is the simulation's innermost hot path (one call per
+/// device per trace point across a whole fleet); these buffers are
+/// allocated once at pack construction and reused so a steady-state step
+/// performs zero heap allocations. `step` moves the scratch out of `self`
+/// (`mem::take` of empty vectors — no allocation) so the buffers can be
+/// borrowed alongside `&mut self` helper calls, and moves it back before
+/// returning.
+#[derive(Debug, Clone, Default)]
+struct StepScratch {
+    /// Per-battery outcome being assembled (becomes the report).
+    info: Vec<BatteryStepInfo>,
+    /// Per-battery deliverable-power ceiling for the planning pass.
+    p_max: Vec<f64>,
+    /// Per-battery planned power allocation.
+    alloc: Vec<f64>,
+    /// Working copy of the discharge ratios (zeroed as cells saturate).
+    shares: Vec<f64>,
+    /// Whether each battery served its full allotment (top-up pass).
+    full_served: Vec<bool>,
+    /// Events staged during the step, flushed in one batch.
+    events: Vec<(f64, ObsEvent)>,
+}
+
+impl StepScratch {
+    fn with_capacity(n: usize) -> Self {
+        Self {
+            info: Vec::with_capacity(n),
+            p_max: Vec::with_capacity(n),
+            alloc: Vec::with_capacity(n),
+            shares: Vec::with_capacity(n),
+            full_served: Vec::with_capacity(n),
+            events: Vec::with_capacity(2 * n + 4),
+        }
+    }
 }
 
 /// The emulated SDB microcontroller and its pack.
@@ -130,6 +275,8 @@ pub struct Microcontroller {
     /// Cached metric handles (present only when the observer has a
     /// registry).
     metrics: Option<MicroMetrics>,
+    /// Reusable step working buffers (see [`StepScratch`]).
+    scratch: StepScratch,
 }
 
 impl Microcontroller {
@@ -152,10 +299,12 @@ impl Microcontroller {
             .fold(0.0f64, f64::max);
         for slot in config.slots {
             profiles.push(ChargingProfile::for_spec(slot.profile, &slot.spec));
+            // The gauge and the cell share the slot's Arc'd spec — an Arc
+            // clone, not a deep copy of the curve tables.
             gauges.push(FuelGauge::new(
-                slot.spec.clone(),
+                std::sync::Arc::clone(&slot.spec),
                 slot.initial_soc,
-                config.gauge.clone(),
+                config.gauge,
             ));
             let capacity_ah = slot.spec.capacity_ah;
             let mut cell = TheveninCell::with_soc(slot.spec, slot.initial_soc);
@@ -187,6 +336,7 @@ impl Microcontroller {
             external_in_j: 0.0,
             observer: Observer::disabled(),
             metrics: None,
+            scratch: StepScratch::with_capacity(n),
         };
         micro.set_observer(sdb_observe::global());
         micro
@@ -430,17 +580,18 @@ impl Microcontroller {
     ///
     /// [`PowerError::InvalidParameter`] for a bad index.
     pub fn select_profile(&mut self, battery: usize, kind: ProfileKind) -> Result<(), PowerError> {
-        let spec = self
+        let cell = self
             .cells
             .get(battery)
             .ok_or(PowerError::InvalidParameter {
                 name: "battery index",
                 value: battery as f64,
-            })?
-            .spec()
-            .clone();
+            })?;
+        // Build the profile while the immutable borrow is live; no spec
+        // clone needed.
+        let new_profile = ChargingProfile::for_spec(kind, cell.spec());
         let from = self.profiles[battery].kind;
-        self.profiles[battery] = ChargingProfile::for_spec(kind, &spec);
+        self.profiles[battery] = new_profile;
         if from != kind {
             self.observer.emit(ObsEvent::ProfileTransition {
                 battery,
@@ -536,20 +687,25 @@ impl Microcontroller {
         let _span = self.observer.span(SpanName::MicroStep);
 
         let n = self.cells.len();
+        // Move the scratch buffers out of `self` (a take of empty vectors,
+        // no allocation) so they can be borrowed alongside `&mut self`
+        // helper calls; they are moved back before returning.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.events.clear();
         // Firmware housekeeping: refresh the thermal-throttle latches.
         for i in 0..n {
-            self.update_throttle_latch(i);
+            self.update_throttle_latch(i, &mut scratch.events);
         }
-        let mut info: Vec<BatteryStepInfo> = self
-            .cells
-            .iter()
-            .map(|c| BatteryStepInfo {
+        scratch.info.clear();
+        scratch
+            .info
+            .extend(self.cells.iter().map(|c| BatteryStepInfo {
                 current_a: 0.0,
                 terminal_v: c.terminal_voltage(0.0),
                 soc: c.soc(),
                 heat_w: 0.0,
-            })
-            .collect();
+            }));
+        let info = &mut scratch.info;
 
         let mut circuit_loss_w = 0.0;
         let mut cell_heat_w = 0.0;
@@ -567,7 +723,23 @@ impl Microcontroller {
 
         // 2. Battery discharge for the remaining load.
         if battery_load_w > 0.0 {
-            let mean_v = self.mean_terminal_v();
+            // Mean loaded terminal voltage across non-empty cells (for the
+            // circuit loss estimate), reusing the voltages just computed
+            // into `info` — nothing has mutated the cells since, so this
+            // is bit-identical to recomputing them.
+            let mean_v = {
+                let (sum, count) = self
+                    .cells
+                    .iter()
+                    .zip(info.iter())
+                    .filter(|(c, _)| !c.is_empty())
+                    .fold((0.0, 0usize), |(s, k), (_, b)| (s + b.terminal_v, k + 1));
+                if count == 0 {
+                    3.7
+                } else {
+                    sum / count as f64
+                }
+            };
             let loss_w = self
                 .discharge_circuit
                 .loss_w(battery_load_w, mean_v)
@@ -581,27 +753,23 @@ impl Microcontroller {
             // Each cell is then stepped exactly once, so gauges, thermal
             // state, and per-cell current limits all see the real combined
             // draw.
-            let p_max: Vec<f64> = (0..n)
-                .map(|i| {
-                    if !self.present[i] || self.cells[i].is_empty() {
-                        return 0.0;
-                    }
-                    let cell = &self.cells[i];
-                    // Power at the rated current (terminal voltage is
-                    // linear in I, so this is exact at the cap), bounded by
-                    // the quadratic deliverable maximum.
-                    let i_max = cell.spec().max_discharge_a;
-                    let p_at_imax = (cell.terminal_voltage(i_max) * i_max).max(0.0);
-                    let p_quad = cell.max_power_w();
-                    // Energy bound: don't plan more than the charge left
-                    // can sustain for the whole step.
-                    let p_energy = cell.remaining_ah() * 3600.0 * cell.ocv() / dt_s;
-                    p_at_imax.min(p_quad).min(p_energy)
-                })
-                .collect();
+            scratch.p_max.clear();
+            scratch.p_max.extend((0..n).map(|i| {
+                if !self.present[i] || self.cells[i].is_empty() {
+                    return 0.0;
+                }
+                // Current-cap, quadratic, and remaining-energy bounds in
+                // one query (one OCV/DCIR lookup instead of five).
+                self.cells[i].plan_discharge_cap_w(dt_s)
+            }));
+            let p_max = &scratch.p_max;
 
-            let mut alloc = vec![0.0f64; n];
-            let mut shares = self.discharge_ratios.clone();
+            scratch.alloc.clear();
+            scratch.alloc.resize(n, 0.0);
+            let alloc = &mut scratch.alloc;
+            scratch.shares.clear();
+            scratch.shares.extend_from_slice(&self.discharge_ratios);
+            let shares = &mut scratch.shares;
             for (i, share) in shares.iter_mut().enumerate() {
                 if p_max[i] <= 0.0 {
                     *share = 0.0;
@@ -637,12 +805,14 @@ impl Microcontroller {
 
             // Apply: one step per allocated battery.
             let mut served = 0.0f64;
-            let mut full_served = vec![false; n];
+            scratch.full_served.clear();
+            scratch.full_served.resize(n, false);
+            let full_served = &mut scratch.full_served;
             for i in 0..n {
                 if alloc[i] <= 0.0 {
                     continue;
                 }
-                match self.try_discharge(i, alloc[i], dt_s) {
+                match self.try_discharge(i, alloc[i], dt_s, &mut scratch.events) {
                     Ok((out, time_frac, power_frac)) => {
                         info[i] = out;
                         // Heat is a rate over the time actually simulated.
@@ -675,7 +845,9 @@ impl Microcontroller {
                     if extra <= 1e-9 {
                         continue;
                     }
-                    if let Ok((out, time_frac, power_frac)) = self.try_discharge(i, extra, dt_s) {
+                    if let Ok((out, time_frac, power_frac)) =
+                        self.try_discharge(i, extra, dt_s, &mut scratch.events)
+                    {
                         cell_heat_w += out.heat_w * time_frac;
                         let got = extra * time_frac * power_frac;
                         served += got;
@@ -714,7 +886,7 @@ impl Microcontroller {
                     .external_charge_w(allotted_w, v_batt)
                     .unwrap_or(0.0);
                 let (used_w, into_cell_w, heat, outcome) =
-                    self.try_charge(i, after_reg_w, dt_s, allotted_w);
+                    self.try_charge(i, after_reg_w, dt_s, allotted_w, &mut scratch.events);
                 external_used_w += used_w;
                 // Regulator loss is what left the supply but never reached
                 // the cell's terminals (cell-internal heat is part of the
@@ -758,7 +930,7 @@ impl Microcontroller {
                 let power_w = power_w.min(accept_w / eta_est);
                 if let Ok((out_from, src_time_frac, src_power_frac)) = {
                     let scaled = power_w * (run_s / dt_s);
-                    self.try_discharge_raw(t.from, scaled, dt_s)
+                    self.try_discharge_raw(t.from, scaled, dt_s, &mut scratch.events)
                 } {
                     // The source may empty mid-step: only the fraction it
                     // actually supplied moves across.
@@ -777,7 +949,7 @@ impl Microcontroller {
                         .battery_to_battery_w(moved_w, v_src, v_dst)
                         .unwrap_or(0.0);
                     let (_, into_cell_w, heat, outcome) =
-                        self.try_charge(t.to, reachable_w, dt_s, reachable_w);
+                        self.try_charge(t.to, reachable_w, dt_s, reachable_w, &mut scratch.events);
                     // Conversion loss: source terminal power that never
                     // reached the destination's terminals (both cells'
                     // internal heats are booked separately).
@@ -798,6 +970,15 @@ impl Microcontroller {
             if t.remaining_s > 1e-9 {
                 self.transfer = Some(t);
             }
+        }
+
+        // Flush the events staged during phases 1–4 in one batch (one sink
+        // lock per step instead of one per slot), in stage order and with
+        // their original timestamps. This must happen before the gauges
+        // sample: gauges emit recalibration events directly, and the trace
+        // byte-order must match per-slot emission.
+        if !scratch.events.is_empty() {
+            self.observer.emit_staged(&mut scratch.events);
         }
 
         // 5. Idle cells relax; gauges sample every cell.
@@ -839,6 +1020,9 @@ impl Microcontroller {
             );
         }
 
+        let batteries = BatterySteps::from_slice(&scratch.info);
+        self.scratch = scratch;
+
         StepReport {
             time_s: self.time_s,
             load_w,
@@ -848,24 +1032,7 @@ impl Microcontroller {
             cell_heat_w,
             external_used_w,
             charged_w,
-            batteries: info,
-        }
-    }
-
-    /// Mean loaded terminal voltage across non-empty cells (for circuit
-    /// loss estimates).
-    fn mean_terminal_v(&self) -> f64 {
-        let (sum, count) = self
-            .cells
-            .iter()
-            .filter(|c| !c.is_empty())
-            .fold((0.0, 0usize), |(s, k), c| {
-                (s + c.terminal_voltage(0.0), k + 1)
-            });
-        if count == 0 {
-            3.7
-        } else {
-            sum / count as f64
+            batteries,
         }
     }
 
@@ -879,8 +1046,9 @@ impl Microcontroller {
         i: usize,
         power_w: f64,
         dt_s: f64,
+        staged: &mut Vec<(f64, ObsEvent)>,
     ) -> Result<(BatteryStepInfo, f64, f64), BatteryError> {
-        self.try_discharge_raw(i, power_w, dt_s)
+        self.try_discharge_raw(i, power_w, dt_s, staged)
     }
 
     fn try_discharge_raw(
@@ -888,6 +1056,7 @@ impl Microcontroller {
         i: usize,
         power_w: f64,
         dt_s: f64,
+        staged: &mut Vec<(f64, ObsEvent)>,
     ) -> Result<(BatteryStepInfo, f64, f64), BatteryError> {
         let cell = &mut self.cells[i];
         let current = cell.current_for_power(power_w)?;
@@ -896,12 +1065,16 @@ impl Microcontroller {
             if let Some(m) = &self.metrics {
                 m.safety_clamps.inc();
             }
-            self.observer.emit(ObsEvent::SafetyClamp {
-                battery: i,
-                flow: Flow::Discharge,
-                requested_a: current,
-                applied_a: capped,
-            });
+            Self::stage_event(
+                &self.observer,
+                staged,
+                ObsEvent::SafetyClamp {
+                    battery: i,
+                    flow: Flow::Discharge,
+                    requested_a: current,
+                    applied_a: capped,
+                },
+            );
         }
         let out = cell.step_current(capped, dt_s)?;
         // Fraction of the requested energy actually served: the step may
@@ -933,7 +1106,7 @@ impl Microcontroller {
 
     /// Updates the per-battery thermal-throttle latch from the cell's
     /// present temperature.
-    fn update_throttle_latch(&mut self, i: usize) {
+    fn update_throttle_latch(&mut self, i: usize, staged: &mut Vec<(f64, ObsEvent)>) {
         let Some(throttle) = self.thermal_throttle else {
             return;
         };
@@ -943,23 +1116,43 @@ impl Microcontroller {
         if self.throttled[i] {
             if temp < throttle.resume_c {
                 self.throttled[i] = false;
-                self.note_throttle_transition(i, false, temp);
+                self.note_throttle_transition(i, false, temp, staged);
             }
         } else if temp > throttle.limit_c {
             self.throttled[i] = true;
-            self.note_throttle_transition(i, true, temp);
+            self.note_throttle_transition(i, true, temp, staged);
         }
     }
 
-    fn note_throttle_transition(&self, battery: usize, engaged: bool, temperature_c: f64) {
+    fn note_throttle_transition(
+        &self,
+        battery: usize,
+        engaged: bool,
+        temperature_c: f64,
+        staged: &mut Vec<(f64, ObsEvent)>,
+    ) {
         if let Some(m) = &self.metrics {
             m.throttle_transitions.inc();
         }
-        self.observer.emit(ObsEvent::ThermalThrottle {
-            battery,
-            engaged,
-            temperature_c,
-        });
+        Self::stage_event(
+            &self.observer,
+            staged,
+            ObsEvent::ThermalThrottle {
+                battery,
+                engaged,
+                temperature_c,
+            },
+        );
+    }
+
+    /// Stages an event for the end-of-step batched flush, stamped with the
+    /// observer's current clock (identical to what a direct `emit` would
+    /// have stamped — the step clock is constant across phases 1–4).
+    /// Events are dropped when no sink is attached, exactly like `emit`.
+    fn stage_event(observer: &Observer, staged: &mut Vec<(f64, ObsEvent)>, event: ObsEvent) {
+        if observer.wants_events() {
+            staged.push((observer.clock_s(), event));
+        }
     }
 
     /// Attempts to push `power_w` into battery `i`'s terminals for `dt_s`,
@@ -972,6 +1165,7 @@ impl Microcontroller {
         power_w: f64,
         dt_s: f64,
         allotted_w: f64,
+        staged: &mut Vec<(f64, ObsEvent)>,
     ) -> (f64, f64, f64, Option<BatteryStepInfo>) {
         if power_w <= 0.0 {
             return (0.0, 0.0, 0.0, None);
@@ -999,12 +1193,16 @@ impl Microcontroller {
             if let Some(m) = &self.metrics {
                 m.safety_clamps.inc();
             }
-            self.observer.emit(ObsEvent::SafetyClamp {
-                battery: i,
-                flow: Flow::Charge,
-                requested_a: want_i,
-                applied_a: use_i,
-            });
+            Self::stage_event(
+                &self.observer,
+                staged,
+                ObsEvent::SafetyClamp {
+                    battery: i,
+                    flow: Flow::Charge,
+                    requested_a: want_i,
+                    applied_a: use_i,
+                },
+            );
         }
         match cell.step_current(-use_i, dt_s) {
             Ok(out) => {

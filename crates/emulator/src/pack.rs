@@ -10,12 +10,14 @@ use crate::profile::ProfileKind;
 use sdb_battery_model::spec::BatterySpec;
 use sdb_fuel_gauge::gauge::GaugeConfig;
 use sdb_power_electronics::circuits::{ChargeTopology, DischargeTopology};
+use std::sync::Arc;
 
 /// One battery slot in the pack.
 #[derive(Debug, Clone)]
 pub struct SlotConfig {
-    /// The cell in this slot.
-    pub spec: BatterySpec,
+    /// The cell in this slot. `Arc` so the cell, its gauge, and every
+    /// device built from a shared fleet template reference one spec copy.
+    pub spec: Arc<BatterySpec>,
     /// Initial state of charge.
     pub initial_soc: f64,
     /// Initially selected charging profile.
@@ -73,23 +75,30 @@ impl PackBuilder {
 
     /// Adds a battery at full charge with the standard profile.
     #[must_use]
-    pub fn battery(self, spec: BatterySpec) -> Self {
+    pub fn battery(self, spec: impl Into<Arc<BatterySpec>>) -> Self {
         self.battery_at(spec, 1.0, ProfileKind::Standard)
     }
 
-    /// Adds a battery at a given SoC with a given profile.
+    /// Adds a battery at a given SoC with a given profile. Accepts a spec
+    /// by value or an `Arc` (fleet templates pass the shared `Arc` so no
+    /// per-device copy is made).
     ///
     /// # Panics
     ///
     /// Panics if `initial_soc` is outside `[0, 1]`.
     #[must_use]
-    pub fn battery_at(mut self, spec: BatterySpec, initial_soc: f64, profile: ProfileKind) -> Self {
+    pub fn battery_at(
+        mut self,
+        spec: impl Into<Arc<BatterySpec>>,
+        initial_soc: f64,
+        profile: ProfileKind,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&initial_soc),
             "soc out of range: {initial_soc}"
         );
         self.slots.push(SlotConfig {
-            spec,
+            spec: spec.into(),
             initial_soc,
             profile,
         });

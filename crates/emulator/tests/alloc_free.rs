@@ -1,0 +1,89 @@
+//! Proves the micro-step hot loop is allocation-free at steady state.
+//!
+//! The test binary installs [`sdb_testkit::CountingAllocator`] as the
+//! global allocator; its counters are thread-local, so the parallel test
+//! threads measure independently. Each scenario warms a pack up (first
+//! steps grow the scratch buffers and curve cursors to steady state), then
+//! asserts that hundreds of further steps perform **zero** heap
+//! allocations — the property the scratch-buffer rework in
+//! `Microcontroller::step` exists to provide.
+
+use sdb_battery_model::chemistry::Chemistry;
+use sdb_battery_model::spec::BatterySpec;
+use sdb_emulator::micro::{BatterySteps, Microcontroller};
+use sdb_emulator::pack::PackBuilder;
+use sdb_emulator::profile::ProfileKind;
+use sdb_testkit::alloc_counter;
+use sdb_testkit::CountingAllocator;
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
+
+fn pack_of(n: usize, soc: f64) -> Microcontroller {
+    let chems = [
+        Chemistry::Type2CoStandard,
+        Chemistry::Type3CoPower,
+        Chemistry::Type1LfpPower,
+        Chemistry::OtherNmc,
+    ];
+    let mut b = PackBuilder::new();
+    for i in 0..n {
+        b = b.battery_at(
+            BatterySpec::from_chemistry(&format!("cell{i}"), chems[i % chems.len()], 2.0),
+            soc,
+            ProfileKind::Standard,
+        );
+    }
+    b.build()
+}
+
+/// Runs `steps` steps and returns the number of heap allocations they made.
+fn allocs_over(micro: &mut Microcontroller, steps: usize, load_w: f64, external_w: f64) -> u64 {
+    let before = alloc_counter::allocs();
+    for _ in 0..steps {
+        black_box(micro.step(load_w, external_w, 1.0));
+    }
+    alloc_counter::allocs() - before
+}
+
+#[test]
+fn discharge_steady_state_is_allocation_free() {
+    let mut micro = pack_of(4, 0.9);
+    // Warm-up: scratch buffers reach capacity, cursors settle.
+    let _ = allocs_over(&mut micro, 50, 12.0, 0.0);
+    let n = allocs_over(&mut micro, 200, 12.0, 0.0);
+    assert_eq!(n, 0, "discharge steady state allocated {n} times");
+}
+
+#[test]
+fn charge_steady_state_is_allocation_free() {
+    let mut micro = pack_of(4, 0.3);
+    let _ = allocs_over(&mut micro, 50, 0.0, 40.0);
+    let n = allocs_over(&mut micro, 200, 0.0, 40.0);
+    assert_eq!(n, 0, "charge steady state allocated {n} times");
+}
+
+#[test]
+fn mixed_load_and_charge_is_allocation_free() {
+    let mut micro = pack_of(8, 0.5);
+    let _ = allocs_over(&mut micro, 50, 10.0, 25.0);
+    let n = allocs_over(&mut micro, 200, 10.0, 25.0);
+    assert_eq!(n, 0, "mixed steady state allocated {n} times");
+}
+
+#[test]
+fn inline_report_capacity_covers_bench_packs() {
+    // Packs up to BatterySteps::INLINE cells return their per-battery
+    // detail inline; larger packs spill to one heap allocation per step
+    // (documented in DESIGN.md §9). This pins the boundary the alloc-free
+    // tests rely on.
+    const _: () = assert!(BatterySteps::INLINE >= 8);
+    let mut micro = pack_of(BatterySteps::INLINE + 1, 0.9);
+    let _ = allocs_over(&mut micro, 50, 30.0, 0.0);
+    let n = allocs_over(&mut micro, 100, 30.0, 0.0);
+    assert_eq!(
+        n, 100,
+        "a spilled pack should allocate exactly once per step, got {n}/100"
+    );
+}

@@ -78,11 +78,12 @@ fn run_device(spec: &FleetSpec, device: u64, obs: &Observer) -> DeviceOutcome {
     let cohort = &spec.cohorts[cohort_idx];
     let seed = spec.device_seed(device);
 
-    // Instantiate the shared pack template. The specs live behind `Arc`;
-    // cloning the inner spec here is the only per-device copy.
+    // Instantiate the shared pack template. The specs live behind `Arc`
+    // and the builder accepts the handle directly, so no per-device spec
+    // copy is made.
     let mut builder = PackBuilder::new();
     for slot in &cohort.pack.batteries {
-        builder = builder.battery_at((*slot.spec).clone(), slot.initial_soc, slot.profile);
+        builder = builder.battery_at(slot.spec.clone(), slot.initial_soc, slot.profile);
     }
     let mut micro: Microcontroller = builder.build();
     micro.set_observer(obs.clone());
@@ -369,7 +370,7 @@ mod tests {
         let cohort = &spec.cohorts[0];
         let mut builder = PackBuilder::new();
         for slot in &cohort.pack.batteries {
-            builder = builder.battery_at((*slot.spec).clone(), slot.initial_soc, slot.profile);
+            builder = builder.battery_at(slot.spec.clone(), slot.initial_soc, slot.profile);
         }
         let mut micro = builder.build();
         let mut rt = SdbRuntime::new(2);

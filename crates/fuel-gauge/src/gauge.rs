@@ -9,11 +9,13 @@
 
 use crate::coulomb::CoulombCounter;
 use sdb_battery_model::aging::CYCLE_CHARGE_THRESHOLD;
+use sdb_battery_model::curves::CurveCursor;
 use sdb_battery_model::spec::BatterySpec;
 use sdb_observe::{Counter, ObsEvent, Observer};
+use std::sync::Arc;
 
 /// Configuration of one gauge instance.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GaugeConfig {
     /// Current-measurement resolution, amps.
     pub current_lsb_a: f64,
@@ -62,8 +64,11 @@ pub struct FuelGauge {
     config: GaugeConfig,
     counter: CoulombCounter,
     /// The cell's spec (for capacity and the OCP curve used in
-    /// recalibration).
-    spec: BatterySpec,
+    /// recalibration). Shared with the simulated cell instead of deep-
+    /// copied per gauge.
+    spec: Arc<BatterySpec>,
+    /// Segment memo for the OCV-inversion recalibration lookup.
+    ocp_cur: CurveCursor,
     /// Estimated SoC.
     soc_estimate: f64,
     /// Time spent at (near) zero current, seconds.
@@ -98,17 +103,19 @@ impl FuelGauge {
     ///
     /// Panics if `initial_soc` is outside `[0, 1]`.
     #[must_use]
-    pub fn new(spec: BatterySpec, initial_soc: f64, config: GaugeConfig) -> Self {
+    pub fn new(spec: impl Into<Arc<BatterySpec>>, initial_soc: f64, config: GaugeConfig) -> Self {
         assert!(
             (0.0..=1.0).contains(&initial_soc),
             "soc out of range: {initial_soc}"
         );
+        let spec = spec.into();
         let last_v = spec.ocp.eval(initial_soc);
         let capacity = spec.capacity_ah;
         Self {
             counter: CoulombCounter::new(config.current_lsb_a, config.current_offset_a),
             config,
             spec,
+            ocp_cur: CurveCursor::new(),
             soc_estimate: initial_soc,
             rest_s: 0.0,
             last_v,
@@ -164,7 +171,7 @@ impl FuelGauge {
         if measured_i.abs() < 0.002 * self.spec.capacity_ah {
             self.rest_s += dt_s;
             if self.rest_s >= self.config.rest_recal_s {
-                if let Some(soc) = self.spec.ocp.invert(self.last_v) {
+                if let Some(soc) = self.spec.ocp.invert_cached(&self.ocp_cur, self.last_v) {
                     let soc = soc.clamp(0.0, 1.0);
                     // Capacity learning: between two OCV anchors, the
                     // coulomb counter measured the true charge moved; the

@@ -187,6 +187,31 @@ impl Observer {
         }
     }
 
+    /// Emits a batch of pre-stamped events under a single sink lock,
+    /// draining `events` (the vector is cleared but keeps its capacity, so
+    /// a caller-owned staging buffer never reallocates at steady state).
+    ///
+    /// Equivalent to calling [`Observer::emit_at`] once per entry in
+    /// order, but the hot loop pays for one lock acquisition per step
+    /// instead of one per staged event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sink lock is poisoned.
+    pub fn emit_staged(&self, events: &mut Vec<(f64, ObsEvent)>) {
+        if let Some(s) = &self.shared {
+            if s.sink_count.load(Ordering::Relaxed) > 0 {
+                let mut sinks = s.sinks.lock().expect("observer sinks poisoned");
+                for (t_s, event) in events.iter() {
+                    for sink in sinks.iter_mut() {
+                        sink.record(*t_s, event);
+                    }
+                }
+            }
+        }
+        events.clear();
+    }
+
     /// The metrics registry, when enabled.
     #[must_use]
     pub fn registry(&self) -> Option<&MetricsRegistry> {
@@ -298,6 +323,54 @@ mod tests {
             },
         );
         assert_eq!(rec.lock().unwrap().dump()[0].t_s, 7.5);
+    }
+
+    #[test]
+    fn emit_staged_preserves_order_and_timestamps() {
+        let obs = Observer::new();
+        let rec = FlightRecorder::shared(8);
+        obs.add_sink(Box::new(rec.clone()));
+        let mut staged = vec![
+            (
+                1.0,
+                ObsEvent::BatteryPresence {
+                    battery: 0,
+                    present: true,
+                },
+            ),
+            (
+                1.0,
+                ObsEvent::BatteryPresence {
+                    battery: 1,
+                    present: false,
+                },
+            ),
+        ];
+        let cap = staged.capacity();
+        obs.emit_staged(&mut staged);
+        assert!(staged.is_empty());
+        assert_eq!(staged.capacity(), cap);
+        let dump = rec.lock().unwrap().dump();
+        assert_eq!(dump.len(), 2);
+        assert_eq!(dump[0].t_s, 1.0);
+        assert!(matches!(
+            dump[0].event,
+            ObsEvent::BatteryPresence { battery: 0, .. }
+        ));
+        assert!(matches!(
+            dump[1].event,
+            ObsEvent::BatteryPresence { battery: 1, .. }
+        ));
+        // A disabled observer still drains the staging buffer.
+        let mut staged = vec![(
+            2.0,
+            ObsEvent::BatteryPresence {
+                battery: 0,
+                present: true,
+            },
+        )];
+        Observer::disabled().emit_staged(&mut staged);
+        assert!(staged.is_empty());
     }
 
     #[test]

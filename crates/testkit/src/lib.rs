@@ -20,6 +20,10 @@
 //! });
 //! ```
 
+pub mod alloc_counter;
+
+pub use alloc_counter::CountingAllocator;
+
 use sdb_rng::{derive_seed, DetRng};
 
 /// Per-case value generator: a deterministic RNG plus sampling helpers
