@@ -78,6 +78,10 @@ pub struct TheveninCell {
     rc_alpha_dt_bits: u64,
     /// Memoized `exp(-dt/τ)` for the `dt` above.
     rc_alpha: f64,
+    /// Fault-injection multiplier on the ohmic resistance (sudden DCIR
+    /// growth). 1.0 when healthy; `x * 1.0` is bit-identical to `x`, so
+    /// the healthy path costs nothing and changes no results.
+    fault_r_mult: f64,
 }
 
 impl TheveninCell {
@@ -104,6 +108,7 @@ impl TheveninCell {
             thermal: None,
             rc_alpha_dt_bits: f64::NAN.to_bits(),
             rc_alpha: 1.0,
+            fault_r_mult: 1.0,
         }
     }
 
@@ -185,13 +190,37 @@ impl TheveninCell {
         self.spec.dcir.eval_cached(&self.dcir_cur, self.soc)
             * self.aging.resistance_multiplier()
             * temp_mult
+            * self.fault_r_mult
+    }
+
+    /// Installs (or with `1.0` clears) a fault multiplier on the ohmic
+    /// resistance, emulating sudden DCIR growth from e.g. a cracked weld
+    /// or lost electrode contact.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mult` is finite and positive.
+    pub fn set_fault_resistance_mult(&mut self, mult: f64) {
+        assert!(
+            mult.is_finite() && mult > 0.0,
+            "bad fault resistance multiplier: {mult}"
+        );
+        self.fault_r_mult = mult;
+    }
+
+    /// The installed fault resistance multiplier (1.0 when healthy).
+    #[must_use]
+    pub fn fault_resistance_mult(&self) -> f64 {
+        self.fault_r_mult
     }
 
     /// Slope of the DCIR curve at the present SoC (the `δi` of the paper's
     /// RBL allocation, Section 3.3), including age growth.
     #[must_use]
     pub fn dcir_slope(&self) -> f64 {
-        self.spec.dcir.slope_cached(&self.dcir_cur, self.soc) * self.aging.resistance_multiplier()
+        self.spec.dcir.slope_cached(&self.dcir_cur, self.soc)
+            * self.aging.resistance_multiplier()
+            * self.fault_r_mult
     }
 
     /// [`TheveninCell::resistance_ohm`] and [`TheveninCell::dcir_slope`]
@@ -209,7 +238,10 @@ impl TheveninCell {
             .dcir
             .value_and_slope_cached(&self.dcir_cur, self.soc);
         let age = self.aging.resistance_multiplier();
-        (r * age * temp_mult, s * age)
+        (
+            r * age * temp_mult * self.fault_r_mult,
+            s * age * self.fault_r_mult,
+        )
     }
 
     /// Present usable capacity in amp-hours (rated capacity × fade).

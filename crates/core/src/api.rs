@@ -116,8 +116,10 @@ impl SdbApi for Link {
 
     fn query_battery_status(&mut self) -> Vec<BatteryStatus> {
         // The link's gauges are queried synchronously in the emulator; a
-        // production driver would await the serial round-trip.
-        self.micro().query_battery_status()
+        // production driver would await the serial round-trip. Routing
+        // through the link (not straight to the firmware) keeps injected
+        // stale-status faults effective on this path too.
+        self.query_battery_status_now()
     }
 }
 

@@ -88,8 +88,8 @@ pub use events::{apply_event, OsEvent};
 pub use metrics::{ccb, rbl_wh, wear_ratios};
 pub use policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
 pub use predict::UsagePredictor;
-pub use runtime::SdbRuntime;
-pub use scheduler::{run_trace, SimOptions, SimResult};
+pub use runtime::{ResilienceConfig, SdbRuntime};
+pub use scheduler::{run_trace, run_trace_linked, LinkedSimOptions, SimOptions, SimResult};
 
 /// Compile-time guarantee that the whole simulation stack can be moved
 /// across threads. The sdb-fleet engine runs one `(Microcontroller,

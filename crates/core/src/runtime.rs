@@ -9,7 +9,89 @@
 use crate::api::SdbApi;
 use crate::error::SdbError;
 use crate::policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
+use sdb_emulator::link::Response;
+use sdb_fuel_gauge::gauge::BatteryStatus;
 use sdb_observe::{Counter, Gauge, ObsEvent, Observer, SpanName};
+
+/// Configuration of the runtime's graceful-degradation layer
+/// ([`SdbRuntime::enable_resilience`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceConfig {
+    /// Time to wait for any link response before re-sending the last
+    /// pushed ratios, seconds.
+    pub ack_timeout_s: f64,
+    /// Retries before recovery is left to the watchdog.
+    pub max_retries: u32,
+    /// Exponential growth factor of the retry backoff.
+    pub backoff_factor: f64,
+    /// Silent-link time (commands outstanding, no responses) after which
+    /// the watchdog engages and falls back to safe uniform ratios, seconds.
+    pub watchdog_timeout_s: f64,
+    /// Blend weight toward the uniform split applied to policy ratios
+    /// while any gauge is flagged degraded (guard-band widening), `[0, 1]`.
+    pub guard_widen: f64,
+    /// Consecutive bit-identical SoC samples under load before a gauge is
+    /// flagged stuck.
+    pub stuck_samples: u32,
+    /// Minimum reported |current| for stuck detection to apply, amps (a
+    /// resting cell's frozen SoC is legitimate).
+    pub stuck_current_a: f64,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            ack_timeout_s: 10.0,
+            max_retries: 3,
+            backoff_factor: 2.0,
+            watchdog_timeout_s: 120.0,
+            guard_widen: 0.5,
+            stuck_samples: 5,
+            stuck_current_a: 0.05,
+        }
+    }
+}
+
+/// Mutable state of the graceful-degradation layer.
+#[derive(Debug, Clone)]
+struct ResilienceState {
+    cfg: ResilienceConfig,
+    /// Commands sent whose responses have not yet been observed.
+    outstanding: u64,
+    /// Time since the last send (or last response), for retry pacing.
+    since_send_s: f64,
+    /// Time the link has been silent with commands outstanding.
+    silent_s: f64,
+    /// Retries already spent on the current silence.
+    retries: u32,
+    /// Whether the watchdog is currently engaged.
+    engaged: bool,
+    /// Time since the last uniform fallback push while engaged.
+    since_fallback_s: f64,
+    /// Per-battery bit pattern of the last reported SoC.
+    last_soc_bits: Vec<Option<u64>>,
+    /// Per-battery count of consecutive identical SoC reports under load.
+    stuck_counts: Vec<u32>,
+    /// Per-battery degraded flags.
+    degraded: Vec<bool>,
+}
+
+impl ResilienceState {
+    fn new(cfg: ResilienceConfig) -> Self {
+        Self {
+            cfg,
+            outstanding: 0,
+            since_send_s: 0.0,
+            silent_s: 0.0,
+            retries: 0,
+            engaged: false,
+            since_fallback_s: 0.0,
+            last_soc_bits: Vec::new(),
+            stuck_counts: Vec::new(),
+            degraded: Vec::new(),
+        }
+    }
+}
 
 /// Metric handles the tick path updates without touching the registry
 /// lock (registered once in [`SdbRuntime::set_observer`]).
@@ -41,6 +123,9 @@ pub struct SdbRuntime {
     /// Cached metric handles (present only when the observer has a
     /// registry).
     metrics: Option<RuntimeMetrics>,
+    /// Graceful-degradation layer (absent until
+    /// [`SdbRuntime::enable_resilience`]).
+    resilience: Option<ResilienceState>,
 }
 
 impl SdbRuntime {
@@ -65,6 +150,7 @@ impl SdbRuntime {
             pushes: 0,
             observer: Observer::disabled(),
             metrics: None,
+            resilience: None,
         };
         rt.set_observer(sdb_observe::global());
         rt
@@ -145,6 +231,184 @@ impl SdbRuntime {
         self.pushes
     }
 
+    /// Turns on the graceful-degradation layer: command retry with
+    /// exponential backoff ([`SdbRuntime::supervise`]), a watchdog that
+    /// falls back to safe uniform ratios when the link goes dark, and
+    /// stuck-gauge detection that widens the policy guard bands.
+    pub fn enable_resilience(&mut self, cfg: ResilienceConfig) {
+        let mut st = ResilienceState::new(cfg);
+        st.last_soc_bits = vec![None; self.n];
+        st.stuck_counts = vec![0; self.n];
+        st.degraded = vec![false; self.n];
+        self.resilience = Some(st);
+    }
+
+    /// Whether the link watchdog is currently engaged (safe uniform
+    /// fallback ratios in force).
+    #[must_use]
+    pub fn watchdog_engaged(&self) -> bool {
+        self.resilience.as_ref().is_some_and(|r| r.engaged)
+    }
+
+    /// Whether battery `i`'s gauge is currently flagged degraded.
+    #[must_use]
+    pub fn gauge_degraded(&self, i: usize) -> bool {
+        self.resilience
+            .as_ref()
+            .is_some_and(|r| r.degraded.get(i).copied().unwrap_or(false))
+    }
+
+    /// Notes a command sent to the link outside [`SdbRuntime::tick`] (for
+    /// example a status heartbeat), so the watchdog expects its response.
+    pub fn note_command_sent(&mut self) {
+        if let Some(r) = &mut self.resilience {
+            r.outstanding += 1;
+            r.since_send_s = 0.0;
+        }
+    }
+
+    /// Feeds link responses back into the degradation layer. Any response
+    /// proves the link is alive — retries reset, and an engaged watchdog
+    /// disengages (forcing a policy re-push on the next tick). Status rows
+    /// additionally feed the stuck-gauge detector.
+    pub fn observe_responses(&mut self, responses: &[Response]) {
+        if responses.is_empty() || self.resilience.is_none() {
+            return;
+        }
+        for response in responses {
+            if let Response::Status(rows) = response {
+                self.observe_status(rows);
+            }
+        }
+        let observer = self.observer.clone();
+        let res = self.resilience.as_mut().expect("checked above");
+        res.outstanding = res.outstanding.saturating_sub(responses.len() as u64);
+        res.retries = 0;
+        res.since_send_s = 0.0;
+        let silent_s = res.silent_s;
+        res.silent_s = 0.0;
+        if res.engaged {
+            res.engaged = false;
+            observer.emit(ObsEvent::WatchdogTransition {
+                engaged: false,
+                silent_s,
+            });
+            // The fallback ratios are on the wire; force the next tick to
+            // re-evaluate policies and push fresh ratios immediately.
+            self.since_update_s = f64::INFINITY;
+            self.last_discharge.clear();
+            self.last_charge.clear();
+        }
+    }
+
+    /// Feeds gauge status rows to the stuck-gauge detector: a SoC estimate
+    /// that stays bit-identical across [`ResilienceConfig::stuck_samples`]
+    /// consecutive reports while meaningful current flows marks the gauge
+    /// degraded; any change in the estimate clears the flag.
+    pub fn observe_status(&mut self, rows: &[BatteryStatus]) {
+        let Some(res) = &mut self.resilience else {
+            return;
+        };
+        let observer = self.observer.clone();
+        for (i, row) in rows.iter().enumerate().take(res.last_soc_bits.len()) {
+            let bits = row.soc.to_bits();
+            let under_load = row.current_a.abs() >= res.cfg.stuck_current_a;
+            if res.last_soc_bits[i] == Some(bits) {
+                if under_load {
+                    res.stuck_counts[i] = res.stuck_counts[i].saturating_add(1);
+                    if res.stuck_counts[i] >= res.cfg.stuck_samples && !res.degraded[i] {
+                        res.degraded[i] = true;
+                        observer.emit(ObsEvent::GaugeDegraded {
+                            battery: i,
+                            degraded: true,
+                            reason: "stuck-soc",
+                        });
+                    }
+                }
+                // A resting cell neither accumulates suspicion nor clears
+                // it — a frozen SoC at rest is legitimate.
+            } else {
+                res.last_soc_bits[i] = Some(bits);
+                res.stuck_counts[i] = 0;
+                if res.degraded[i] {
+                    res.degraded[i] = false;
+                    observer.emit(ObsEvent::GaugeDegraded {
+                        battery: i,
+                        degraded: false,
+                        reason: "stuck-soc",
+                    });
+                }
+            }
+        }
+    }
+
+    /// Advances the degradation layer's clocks and performs recovery
+    /// actions: re-sends the last ratios with exponential backoff while the
+    /// link is silent, and past
+    /// [`ResilienceConfig::watchdog_timeout_s`] engages the watchdog,
+    /// pushing safe uniform ratios until a response arrives.
+    ///
+    /// No-op unless [`SdbRuntime::enable_resilience`] was called.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware rejections from the API.
+    pub fn supervise(&mut self, api: &mut dyn SdbApi, dt_s: f64) -> Result<(), SdbError> {
+        let observer = self.observer.clone();
+        let Some(res) = &mut self.resilience else {
+            return Ok(());
+        };
+        if res.outstanding == 0 && !res.engaged {
+            res.silent_s = 0.0;
+            return Ok(());
+        }
+        res.silent_s += dt_s;
+        res.since_send_s += dt_s;
+        if res.engaged {
+            // Keep re-asserting the safe split in case pushes are lost.
+            res.since_fallback_s += dt_s;
+            if res.since_fallback_s >= res.cfg.ack_timeout_s {
+                res.since_fallback_s = 0.0;
+                let uniform = vec![1.0 / self.n as f64; self.n];
+                api.discharge(&uniform)?;
+                api.charge(&uniform)?;
+                res.outstanding += 2;
+            }
+            return Ok(());
+        }
+        if res.silent_s >= res.cfg.watchdog_timeout_s {
+            res.engaged = true;
+            // First fallback push happens immediately.
+            res.since_fallback_s = f64::INFINITY;
+            observer.emit(ObsEvent::WatchdogTransition {
+                engaged: true,
+                silent_s: res.silent_s,
+            });
+            return self.supervise(api, 0.0);
+        }
+        if res.retries < res.cfg.max_retries {
+            let backoff_s = res.cfg.ack_timeout_s * res.cfg.backoff_factor.powi(res.retries as i32);
+            if res.since_send_s >= backoff_s {
+                res.retries += 1;
+                res.since_send_s = 0.0;
+                let attempt = res.retries;
+                observer.emit(ObsEvent::CommandRetry { attempt, backoff_s });
+                let last_discharge = self.last_discharge.clone();
+                let last_charge = self.last_charge.clone();
+                let res = self.resilience.as_mut().expect("still enabled");
+                if !last_discharge.is_empty() {
+                    api.discharge(&last_discharge)?;
+                    res.outstanding += 1;
+                }
+                if !last_charge.is_empty() {
+                    api.charge(&last_charge)?;
+                    res.outstanding += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Runs one runtime tick: if the update period has elapsed, re-evaluate
     /// policies on `input` and push changed ratios through `api`. Returns
     /// whether anything was pushed.
@@ -166,18 +430,35 @@ impl SdbRuntime {
         if self.since_update_s < self.update_period_s {
             return Ok(false);
         }
+        if self.watchdog_engaged() {
+            // The watchdog owns the wire: policy pushes are suppressed
+            // until a response proves the link is alive again (the ratios
+            // re-push immediately on disengagement).
+            return Ok(false);
+        }
         self.since_update_s = 0.0;
         let _span = self.observer.span(SpanName::PolicyEval);
         if let Some(m) = &self.metrics {
             m.policy_evals.inc();
         }
+        // Guard-band widening: while any gauge is degraded its SoC data is
+        // suspect, so blend the policy output toward the safe uniform split
+        // over the batteries still usable for that direction.
+        let widen = self
+            .resilience
+            .as_ref()
+            .and_then(|r| (r.degraded.iter().any(|d| *d)).then_some(r.cfg.guard_widen));
         let mut pushed = false;
 
         let discharge = match &self.preserve {
             Some(p) => p.ratios(input),
             None => self.discharge_directive.ratios(input),
         };
-        if let Ok(ratios) = discharge {
+        if let Ok(mut ratios) = discharge {
+            if let Some(g) = widen {
+                let usable: Vec<bool> = input.batteries.iter().map(|b| !b.empty).collect();
+                widen_toward_uniform(&mut ratios, &usable, g);
+            }
             if materially_different(&ratios, &self.last_discharge) {
                 api.discharge(&ratios)?;
                 self.last_discharge = ratios;
@@ -185,17 +466,33 @@ impl SdbRuntime {
                 if let Some(m) = &self.metrics {
                     m.pushes.inc();
                 }
+                if let Some(r) = &mut self.resilience {
+                    r.outstanding += 1;
+                    r.since_send_s = 0.0;
+                }
                 pushed = true;
             }
         }
 
-        if let Ok(ratios) = self.charge_directive.ratios(input) {
+        if let Ok(mut ratios) = self.charge_directive.ratios(input) {
+            if let Some(g) = widen {
+                let usable: Vec<bool> = input
+                    .batteries
+                    .iter()
+                    .map(|b| !b.full && b.charge_acceptance_a > 0.0)
+                    .collect();
+                widen_toward_uniform(&mut ratios, &usable, g);
+            }
             if materially_different(&ratios, &self.last_charge) {
                 api.charge(&ratios)?;
                 self.last_charge = ratios;
                 self.pushes += 1;
                 if let Some(m) = &self.metrics {
                     m.pushes.inc();
+                }
+                if let Some(r) = &mut self.resilience {
+                    r.outstanding += 1;
+                    r.since_send_s = 0.0;
                 }
                 pushed = true;
             }
@@ -212,6 +509,32 @@ impl SdbRuntime {
     #[must_use]
     pub fn battery_count(&self) -> usize {
         self.n
+    }
+}
+
+/// Blends `ratios` toward the uniform split over `usable` batteries with
+/// weight `g`, renormalizing so the result still sums to 1.
+fn widen_toward_uniform(ratios: &mut [f64], usable: &[bool], g: f64) {
+    let g = g.clamp(0.0, 1.0);
+    let n_usable = usable.iter().filter(|u| **u).count();
+    let mut sum = 0.0;
+    for (i, r) in ratios.iter_mut().enumerate() {
+        let uniform = if n_usable > 0 {
+            if usable.get(i).copied().unwrap_or(false) {
+                1.0 / n_usable as f64
+            } else {
+                0.0
+            }
+        } else {
+            1.0 / usable.len().max(1) as f64
+        };
+        *r = (1.0 - g) * *r + g * uniform;
+        sum += *r;
+    }
+    if sum > 0.0 {
+        for r in ratios.iter_mut() {
+            *r /= sum;
+        }
     }
 }
 
@@ -295,6 +618,136 @@ mod tests {
         rt.tick(&mut m, &input, 1.0).unwrap();
         // Light load: battery 1 (inefficient) carries nearly everything.
         assert!(m.discharge_ratios()[1] > 0.9);
+    }
+
+    fn status_row(soc: f64, current_a: f64) -> BatteryStatus {
+        BatteryStatus {
+            soc,
+            terminal_v: 3.8,
+            cycle_count: 0,
+            current_a,
+            remaining_ah: 1.0,
+            present: true,
+        }
+    }
+
+    #[test]
+    fn watchdog_engages_on_silent_link_and_recovers() {
+        use sdb_emulator::link::Link;
+        let mut link = Link::ideal(micro());
+        link.seed_faults(7);
+        link.set_fault_drop_per_mille(1000); // the link goes completely dark
+        let mut rt = SdbRuntime::new(2);
+        rt.enable_resilience(ResilienceConfig {
+            ack_timeout_s: 5.0,
+            watchdog_timeout_s: 30.0,
+            ..ResilienceConfig::default()
+        });
+        let input = PolicyInput::from_micro(link.micro()).with_load(4.0);
+        rt.tick(&mut link, &input, 1.0).unwrap();
+        assert!(rt.pushes() >= 1);
+        for _ in 0..40 {
+            link.step(1.0, 2.0, 60.0);
+            rt.observe_responses(&link.take_responses());
+            rt.supervise(&mut link, 1.0).unwrap();
+        }
+        assert!(
+            rt.watchdog_engaged(),
+            "watchdog should engage after 30 s silent"
+        );
+        // Restore the link: a fallback push gets through, the Ack comes
+        // back, and the watchdog disengages.
+        link.set_fault_drop_per_mille(0);
+        for _ in 0..10 {
+            rt.supervise(&mut link, 1.0).unwrap();
+            link.step(1.0, 2.0, 60.0);
+            rt.observe_responses(&link.take_responses());
+        }
+        assert!(
+            !rt.watchdog_engaged(),
+            "watchdog should recover once acks flow"
+        );
+        // The safe uniform split reached the firmware while engaged.
+        let r = link.micro().discharge_ratios().to_vec();
+        assert!((r[0] - 0.5).abs() < 1e-9 && (r[1] - 0.5).abs() < 1e-9);
+        // And the next tick re-pushes policy ratios immediately.
+        assert!(rt.tick(&mut link, &input, 0.0).unwrap());
+    }
+
+    #[test]
+    fn command_retry_resends_last_ratios() {
+        use sdb_emulator::link::Link;
+        let mut link = Link::ideal(micro());
+        link.seed_faults(3);
+        link.set_fault_drop_per_mille(1000);
+        let mut rt = SdbRuntime::new(2);
+        rt.enable_resilience(ResilienceConfig {
+            ack_timeout_s: 4.0,
+            watchdog_timeout_s: 1e9,
+            ..ResilienceConfig::default()
+        });
+        let input = PolicyInput::from_micro(link.micro()).with_load(4.0);
+        rt.tick(&mut link, &input, 1.0).unwrap();
+        let sent_before = link.stats().sent;
+        for _ in 0..5 {
+            rt.supervise(&mut link, 1.0).unwrap();
+        }
+        // One retry after ack_timeout_s re-sends both tuples.
+        assert!(link.stats().sent > sent_before);
+    }
+
+    #[test]
+    fn stuck_gauge_flags_and_clears() {
+        let mut rt = SdbRuntime::new(2);
+        rt.enable_resilience(ResilienceConfig::default());
+        for k in 0..6 {
+            rt.observe_status(&[
+                status_row(0.5, 1.0),
+                status_row(0.49 - 0.001 * f64::from(k), 1.0),
+            ]);
+        }
+        assert!(rt.gauge_degraded(0));
+        assert!(!rt.gauge_degraded(1));
+        // The estimate moves again: suspicion clears.
+        rt.observe_status(&[status_row(0.501, 1.0), status_row(0.4, 1.0)]);
+        assert!(!rt.gauge_degraded(0));
+    }
+
+    #[test]
+    fn resting_cell_not_flagged_stuck() {
+        let mut rt = SdbRuntime::new(1);
+        rt.enable_resilience(ResilienceConfig::default());
+        for _ in 0..10 {
+            rt.observe_status(&[status_row(0.5, 0.0)]);
+        }
+        assert!(!rt.gauge_degraded(0));
+    }
+
+    #[test]
+    fn degraded_gauge_widens_toward_uniform() {
+        let mut m = micro();
+        let mut rt = SdbRuntime::new(2);
+        rt.set_discharge_directive(DischargeDirective::new(1.0));
+        rt.enable_resilience(ResilienceConfig {
+            guard_widen: 1.0,
+            ..ResilienceConfig::default()
+        });
+        for k in 0..6 {
+            rt.observe_status(&[
+                status_row(0.5, 1.0),
+                status_row(0.49 - 0.001 * f64::from(k), 1.0),
+            ]);
+        }
+        assert!(rt.gauge_degraded(0));
+        let input = PolicyInput::from_micro(&m).with_load(4.0);
+        rt.tick(&mut m, &input, 1.0).unwrap();
+        // Full widening with both batteries usable lands exactly uniform.
+        let r = m.discharge_ratios().to_vec();
+        assert!(
+            (r[0] - 0.5).abs() < 1e-9,
+            "widened ratio {} not uniform",
+            r[0]
+        );
     }
 
     #[test]

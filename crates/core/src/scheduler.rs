@@ -7,6 +7,7 @@
 
 use crate::policy::PolicyInput;
 use crate::runtime::SdbRuntime;
+use sdb_emulator::link::{Command, Link};
 use sdb_emulator::micro::Microcontroller;
 use sdb_workloads::traces::Trace;
 
@@ -167,6 +168,141 @@ where
     }
 }
 
+/// Options for a linked (lossy-transport) simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkedSimOptions {
+    /// The underlying simulation options.
+    pub sim: SimOptions,
+    /// Period of the status heartbeat (`QueryBatteryStatus`) the driver
+    /// sends over the link — the responses feed the runtime's watchdog and
+    /// stuck-gauge detector, seconds.
+    pub status_period_s: f64,
+}
+
+impl Default for LinkedSimOptions {
+    fn default() -> Self {
+        Self {
+            sim: SimOptions::default(),
+            status_period_s: 30.0,
+        }
+    }
+}
+
+/// As [`run_trace`], but driving the pack through the lossy [`Link`]
+/// instead of touching the firmware directly: commands can be dropped,
+/// delayed, or duplicated, responses arrive asynchronously and are fed
+/// back into the runtime's graceful-degradation layer
+/// ([`SdbRuntime::observe_responses`] / [`SdbRuntime::supervise`]).
+#[must_use]
+pub fn run_trace_linked(
+    link: &mut Link,
+    runtime: &mut SdbRuntime,
+    trace: &Trace,
+    opts: &LinkedSimOptions,
+) -> SimResult {
+    run_trace_linked_with(link, runtime, trace, opts, |_, _| {}, |_, _, _| {})
+}
+
+/// As [`run_trace_linked`], with two hooks: `pre_step` runs before each
+/// point (fault-plan application gets mutable link access), `on_step`
+/// after it with ground-truth link access (telemetry capture, invariant
+/// checking over the step report).
+pub fn run_trace_linked_with<P, F>(
+    link: &mut Link,
+    runtime: &mut SdbRuntime,
+    trace: &Trace,
+    opts: &LinkedSimOptions,
+    mut pre_step: P,
+    mut on_step: F,
+) -> SimResult
+where
+    P: FnMut(f64, &mut Link),
+    F: FnMut(f64, &Link, &sdb_emulator::micro::StepReport),
+{
+    let n = link.micro().battery_count();
+    let start = link.micro().time_s();
+    let (d0, cl0, ch0, u0, e0) = link.micro().energy_totals_j();
+    let obs = runtime.observer().clone();
+
+    let mut first_brownout = None;
+    let mut battery_empty: Vec<Option<f64>> = vec![None; n];
+    let mut hourly_loss = Vec::new();
+    let mut hourly_load = Vec::new();
+    let mut elapsed = 0.0f64;
+    // Force a status heartbeat on the very first point.
+    let mut since_status_s = f64::INFINITY;
+
+    let resampled = trace.resampled(opts.sim.max_dt_s);
+    'outer: for p in resampled.points() {
+        let _span = obs.span(sdb_observe::SpanName::TraceStep);
+        pre_step(elapsed, link);
+        // Drain whatever the link produced last step before deciding.
+        runtime.observe_responses(&link.take_responses());
+        let input = PolicyInput::from_micro(link.micro())
+            .with_load(p.load_w)
+            .with_external(p.external_w);
+        runtime
+            .tick(link, &input, p.dur_s)
+            .expect("link send is local and infallible");
+        runtime
+            .supervise(link, p.dur_s)
+            .expect("link send is local and infallible");
+        since_status_s += p.dur_s;
+        if since_status_s >= opts.status_period_s {
+            since_status_s = 0.0;
+            link.send(Command::QueryBatteryStatus);
+            runtime.note_command_sent();
+        }
+        let report = link.step(p.load_w, p.external_w, p.dur_s);
+
+        let loss_w = report.circuit_loss_w + report.cell_heat_w;
+        let mut t = elapsed;
+        let mut remaining = p.dur_s;
+        while remaining > 1e-9 {
+            let hour = (t / 3600.0) as usize;
+            let take = remaining.min((hour + 1) as f64 * 3600.0 - t);
+            if hourly_loss.len() <= hour {
+                hourly_loss.resize(hour + 1, 0.0);
+                hourly_load.resize(hour + 1, 0.0);
+            }
+            hourly_loss[hour] += loss_w * take;
+            hourly_load[hour] += report.load_w * take;
+            t += take;
+            remaining -= take;
+        }
+
+        elapsed += p.dur_s;
+        on_step(elapsed, &*link, &report);
+        for (i, cell) in link.micro().cells().iter().enumerate() {
+            if battery_empty[i].is_none() && cell.is_empty() {
+                battery_empty[i] = Some(elapsed);
+            }
+        }
+        if report.unmet_w > 1e-9 && first_brownout.is_none() {
+            first_brownout = Some(elapsed);
+            if opts.sim.stop_on_brownout {
+                break 'outer;
+            }
+        }
+    }
+    runtime.observe_responses(&link.take_responses());
+
+    let (d1, cl1, ch1, u1, e1) = link.micro().energy_totals_j();
+    SimResult {
+        simulated_s: link.micro().time_s() - start,
+        supplied_j: d1 - d0,
+        unmet_j: u1 - u0,
+        circuit_loss_j: cl1 - cl0,
+        cell_heat_j: ch1 - ch0,
+        external_j: e1 - e0,
+        first_brownout_s: first_brownout,
+        battery_empty_s: battery_empty,
+        hourly_loss_j: hourly_loss,
+        hourly_load_j: hourly_load,
+        final_soc: link.micro().cells().iter().map(|c| c.soc()).collect(),
+    }
+}
+
 /// Charges the pack from `external_w` at idle until the pack's total
 /// stored charge reaches each fraction in `targets` (of total rated
 /// capacity), or `max_s` elapses. Returns the time each target was reached.
@@ -312,6 +448,46 @@ mod tests {
         assert_eq!(result.hourly_load_j.len(), 3);
         let hourly_sum: f64 = result.hourly_loss_j.iter().sum();
         assert!((hourly_sum - result.total_loss_j()).abs() / result.total_loss_j() < 0.01);
+    }
+
+    #[test]
+    fn linked_ideal_matches_direct() {
+        let mut m = pack(1.0);
+        let mut rt = SdbRuntime::new(2);
+        let trace = Trace::constant(4.0, 3600.0);
+        let direct = run_trace(&mut m, &mut rt, &trace, &SimOptions::default());
+
+        let mut link = Link::ideal(pack(1.0));
+        let mut rt2 = SdbRuntime::new(2);
+        let linked = run_trace_linked(&mut link, &mut rt2, &trace, &LinkedSimOptions::default());
+        // A perfect zero-latency link is physically equivalent to driving
+        // the firmware directly.
+        assert!((direct.supplied_j - linked.supplied_j).abs() < 1e-9);
+        assert!((direct.total_loss_j() - linked.total_loss_j()).abs() < 1e-9);
+        assert_eq!(direct.final_soc, linked.final_soc);
+    }
+
+    #[test]
+    fn linked_survives_lossy_link() {
+        use crate::runtime::ResilienceConfig;
+        let mut link = Link::ideal(pack(1.0));
+        link.seed_faults(11);
+        link.set_fault_drop_per_mille(300);
+        let mut rt = SdbRuntime::new(2);
+        rt.enable_resilience(ResilienceConfig::default());
+        let result = run_trace_linked(
+            &mut link,
+            &mut rt,
+            &Trace::constant(4.0, 3600.0),
+            &LinkedSimOptions::default(),
+        );
+        assert!((result.simulated_s - 3600.0).abs() < 1e-6);
+        assert!(
+            result.unmet_j < 1e-6,
+            "load went unserved: {}",
+            result.unmet_j
+        );
+        assert!(link.stats().dropped > 0);
     }
 
     #[test]

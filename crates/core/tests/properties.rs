@@ -113,6 +113,61 @@ fn blend_is_convex() {
     });
 }
 
+/// Directive blending is continuous: sweeping the directive 0 → 1 in
+/// small steps keeps every intermediate tuple valid (non-negative, sums
+/// to 1) and moves each battery's share by at most the directive step
+/// (the blend linearly interpolates two fixed unit-sum endpoints, so it
+/// is 1-Lipschitz in the directive) — no discontinuous policy jumps as
+/// the OS dials urgency up or down.
+#[test]
+fn blend_continuous_as_directive_sweeps() {
+    check(256, 0xC0_0008, |g| {
+        let input = arb_input(g);
+        let steps = 64;
+        let dd = 1.0 / f64::from(steps);
+
+        if ccb_discharge(&input).is_ok() {
+            let mut prev: Option<Vec<f64>> = None;
+            for k in 0..=steps {
+                let r = DischargeDirective::new(f64::from(k) * dd)
+                    .ratios(&input)
+                    .expect("feasible at every directive");
+                check_valid_discharge(&r, &input);
+                if let Some(p) = &prev {
+                    for (i, (a, b)) in p.iter().zip(&r).enumerate() {
+                        assert!(
+                            (a - b).abs() <= dd + 1e-9,
+                            "discharge share {i} jumped {a} -> {b} over d-step {dd}"
+                        );
+                    }
+                }
+                prev = Some(r);
+            }
+        }
+
+        if ccb_charge(&input).is_ok() {
+            let mut prev: Option<Vec<f64>> = None;
+            for k in 0..=steps {
+                let r = ChargeDirective::new(f64::from(k) * dd)
+                    .ratios(&input)
+                    .expect("feasible at every directive");
+                let sum: f64 = r.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-6, "sum = {sum}");
+                assert!(r.iter().all(|x| *x >= 0.0));
+                if let Some(p) = &prev {
+                    for (i, (a, b)) in p.iter().zip(&r).enumerate() {
+                        assert!(
+                            (a - b).abs() <= dd + 1e-9,
+                            "charge share {i} jumped {a} -> {b} over d-step {dd}"
+                        );
+                    }
+                }
+                prev = Some(r);
+            }
+        }
+    });
+}
+
 /// RBL-Discharge monotonicity: strictly raising one battery's resistance
 /// never increases its share — in the uncapped regime. (When a current
 /// limit binds, redistribution can push load *back* onto the lossier

@@ -47,6 +47,10 @@ pub enum Response {
 }
 
 /// Link traffic statistics.
+///
+/// Fault counters are incremented at the injection site — the moment the
+/// fault is decided — never inside an observer-gated branch, so the stats
+/// are identical whether or not an observer is attached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkStats {
     /// Commands accepted into the queue.
@@ -55,6 +59,40 @@ pub struct LinkStats {
     pub delivered: u64,
     /// Commands dropped in transit.
     pub dropped: u64,
+    /// Commands duplicated in transit (extra deliveries).
+    pub duplicated: u64,
+    /// `QueryBatteryStatus` responses served from a stale frozen snapshot.
+    pub stale_served: u64,
+}
+
+/// Chaos-injected fault state for a link. All probabilistic decisions
+/// draw from a dedicated [`sdb_rng::DetRng`], so a fault plan replays
+/// bit-for-bit from its seed.
+#[derive(Debug)]
+struct LinkFaults {
+    rng: sdb_rng::DetRng,
+    /// Per-mille probability of dropping each sent command (1000 = the
+    /// link is dark).
+    drop_per_mille: u32,
+    /// Per-mille probability of duplicating each sent command.
+    dup_per_mille: u32,
+    /// Delivery-latency override in ticks while a latency fault is active.
+    latency_override: Option<u32>,
+    /// Frozen status snapshot served for `QueryBatteryStatus` while a
+    /// stale-status fault is active.
+    stale_status: Option<Vec<BatteryStatus>>,
+}
+
+impl LinkFaults {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: sdb_rng::DetRng::seed_from_u64(seed),
+            drop_per_mille: 0,
+            dup_per_mille: 0,
+            latency_override: None,
+            stale_status: None,
+        }
+    }
 }
 
 /// A lossy, delaying link wrapping the microcontroller.
@@ -71,6 +109,8 @@ pub struct Link {
     stats: LinkStats,
     /// Responses produced by delivered commands, in order.
     responses: VecDeque<Response>,
+    /// Chaos-injected fault state (inert until configured).
+    faults: LinkFaults,
 }
 
 impl Link {
@@ -92,25 +132,116 @@ impl Link {
             counter: 0,
             stats: LinkStats::default(),
             responses: VecDeque::new(),
+            faults: LinkFaults::new(0),
+        }
+    }
+
+    /// Re-seeds the fault-decision RNG. Call once per device before
+    /// activating probabilistic faults so campaigns replay bit-for-bit.
+    pub fn seed_faults(&mut self, seed: u64) {
+        self.faults = LinkFaults::new(seed);
+    }
+
+    /// Sets the per-mille probability of dropping each sent command
+    /// (1000 = the link is completely dark).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 1000`.
+    pub fn set_fault_drop_per_mille(&mut self, per_mille: u32) {
+        assert!(
+            per_mille <= 1000,
+            "drop per-mille out of range: {per_mille}"
+        );
+        self.faults.drop_per_mille = per_mille;
+    }
+
+    /// Sets the per-mille probability of duplicating each sent command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_mille > 1000`.
+    pub fn set_fault_dup_per_mille(&mut self, per_mille: u32) {
+        assert!(per_mille <= 1000, "dup per-mille out of range: {per_mille}");
+        self.faults.dup_per_mille = per_mille;
+    }
+
+    /// Overrides the delivery latency while a latency fault is active
+    /// (`None` restores the base latency).
+    pub fn set_fault_latency(&mut self, ticks: Option<u32>) {
+        self.faults.latency_override = ticks;
+    }
+
+    /// Activates (`true`) or clears (`false`) the stale-status fault.
+    /// While active, every `QueryBatteryStatus` is answered from the
+    /// snapshot frozen at activation time.
+    pub fn set_fault_stale_status(&mut self, stale: bool) {
+        self.faults.stale_status = if stale {
+            Some(self.micro.query_battery_status())
+        } else {
+            None
+        };
+    }
+
+    /// Whether a stale-status fault is currently active.
+    #[must_use]
+    pub fn stale_status_active(&self) -> bool {
+        self.faults.stale_status.is_some()
+    }
+
+    /// Counts a fault at its injection site (unconditionally — the stats
+    /// must not depend on whether anyone is watching), then reports it to
+    /// the observer if one is attached.
+    fn record_fault(
+        counter: &mut u64,
+        micro: &Microcontroller,
+        make_description: impl Fn() -> String,
+    ) {
+        *counter += 1;
+        let observer = micro.observer();
+        if observer.wants_events() {
+            observer.emit(sdb_observe::ObsEvent::FaultInjection {
+                description: make_description(),
+            });
         }
     }
 
     /// Sends a command; it is delivered after the configured latency,
-    /// unless it falls on a drop slot.
+    /// unless it falls on a drop slot or an injected fault eats it.
     pub fn send(&mut self, cmd: Command) {
         self.counter += 1;
         self.stats.sent += 1;
+        // Legacy deterministic periodic drop.
         if self.drop_period > 0 && self.counter.is_multiple_of(u64::from(self.drop_period)) {
-            self.stats.dropped += 1;
-            let observer = self.micro.observer();
-            if observer.wants_events() {
-                observer.emit(sdb_observe::ObsEvent::FaultInjection {
-                    description: format!("link dropped command #{}", self.counter),
-                });
-            }
+            let n = self.counter;
+            Self::record_fault(&mut self.stats.dropped, &self.micro, || {
+                format!("link dropped command #{n}")
+            });
             return;
         }
-        self.in_flight.push_back((self.latency_ticks, cmd));
+        // Chaos probabilistic drop. RNG draws happen only while the fault
+        // is active, so clean runs stay bit-identical.
+        if self.faults.drop_per_mille > 0
+            && self.faults.rng.below(1000) < u64::from(self.faults.drop_per_mille)
+        {
+            let n = self.counter;
+            Self::record_fault(&mut self.stats.dropped, &self.micro, || {
+                format!("link dropped command #{n} (chaos)")
+            });
+            return;
+        }
+        let latency = self.faults.latency_override.unwrap_or(self.latency_ticks);
+        // Chaos duplication: the command arrives twice.
+        if self.faults.dup_per_mille > 0
+            && self.faults.rng.below(1000) < u64::from(self.faults.dup_per_mille)
+        {
+            let n = self.counter;
+            Self::record_fault(&mut self.stats.duplicated, &self.micro, || {
+                format!("link duplicated command #{n} (chaos)")
+            });
+            self.in_flight.push_back((latency, cmd.clone()));
+        }
+        self.in_flight.push_back((latency, cmd));
     }
 
     /// Advances the emulation one step, delivering due commands first.
@@ -149,8 +280,22 @@ impl Link {
                 self.micro
                     .charge_one_from_another(from, to, power_w, duration_s),
             ),
-            Command::QueryBatteryStatus => Response::Status(self.micro.query_battery_status()),
+            Command::QueryBatteryStatus => Response::Status(self.query_battery_status_now()),
         }
+    }
+
+    /// Answers a status query immediately — from the frozen snapshot while
+    /// a stale-status fault is active, otherwise from the live gauges.
+    /// Both the queued `QueryBatteryStatus` path and the synchronous
+    /// `SdbApi` path route through here so stale faults cover both.
+    pub fn query_battery_status_now(&mut self) -> Vec<BatteryStatus> {
+        if let Some(snapshot) = self.faults.stale_status.clone() {
+            Self::record_fault(&mut self.stats.stale_served, &self.micro, || {
+                "link served stale battery status (chaos)".to_owned()
+            });
+            return snapshot;
+        }
+        self.micro.query_battery_status()
     }
 
     /// Drains pending responses.
@@ -264,6 +409,121 @@ mod tests {
             Response::Status(rows) => assert_eq!(rows.len(), 2),
             other => panic!("expected Status, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn chaos_drop_darkens_the_link() {
+        let mut link = Link::ideal(pack());
+        link.seed_faults(42);
+        link.set_fault_drop_per_mille(1000);
+        for _ in 0..10 {
+            link.send(Command::QueryBatteryStatus);
+        }
+        link.step(0.1, 0.0, 1.0);
+        let stats = link.stats();
+        assert_eq!(stats.sent, 10);
+        assert_eq!(stats.dropped, 10);
+        assert_eq!(stats.delivered, 0);
+        assert!(link.take_responses().is_empty());
+        // Restoring the link resumes delivery.
+        link.set_fault_drop_per_mille(0);
+        link.send(Command::QueryBatteryStatus);
+        link.step(0.1, 0.0, 1.0);
+        assert_eq!(link.take_responses().len(), 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut link = Link::ideal(pack());
+        link.seed_faults(7);
+        link.set_fault_dup_per_mille(1000);
+        link.send(Command::QueryBatteryStatus);
+        link.step(0.1, 0.0, 1.0);
+        let stats = link.stats();
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.duplicated, 1);
+        assert_eq!(stats.delivered, 2);
+        assert_eq!(link.take_responses().len(), 2);
+    }
+
+    #[test]
+    fn latency_fault_overrides_base_latency() {
+        let mut link = Link::ideal(pack());
+        link.set_fault_latency(Some(3));
+        link.send(Command::QueryBatteryStatus);
+        link.step(0.1, 0.0, 1.0);
+        assert!(link.take_responses().is_empty(), "still in flight");
+        link.step(0.1, 0.0, 1.0);
+        link.step(0.1, 0.0, 1.0);
+        link.step(0.1, 0.0, 1.0);
+        assert_eq!(link.take_responses().len(), 1);
+        // Clearing the fault restores immediate delivery.
+        link.set_fault_latency(None);
+        link.send(Command::QueryBatteryStatus);
+        link.step(0.1, 0.0, 1.0);
+        assert_eq!(link.take_responses().len(), 1);
+    }
+
+    #[test]
+    fn stale_status_serves_frozen_snapshot() {
+        let mut link = Link::ideal(pack());
+        link.set_fault_stale_status(true);
+        assert!(link.stale_status_active());
+        // Drain the pack: the live gauges move, the snapshot must not.
+        for _ in 0..30 {
+            link.step(5.0, 0.0, 60.0);
+        }
+        link.send(Command::QueryBatteryStatus);
+        link.step(0.1, 0.0, 1.0);
+        match &link.take_responses()[0] {
+            Response::Status(rows) => {
+                assert!(rows[0].soc > 0.95, "stale soc {}", rows[0].soc);
+            }
+            other => panic!("expected Status, got {other:?}"),
+        }
+        assert_eq!(link.stats().stale_served, 1);
+        let live = link.micro().query_battery_status();
+        assert!(
+            live[0].soc < 0.9,
+            "live gauges kept moving: {}",
+            live[0].soc
+        );
+        // Thawing serves live rows again.
+        link.set_fault_stale_status(false);
+        link.send(Command::QueryBatteryStatus);
+        link.step(0.1, 0.0, 1.0);
+        match &link.take_responses()[0] {
+            Response::Status(rows) => assert!(rows[0].soc < 0.9),
+            other => panic!("expected Status, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_stats_count_without_an_observer() {
+        // Regression: fault counters must be incremented at the injection
+        // site, not inside the observer-gated emit branch. The packs here
+        // have no observer attached (Observer::disabled() default), yet
+        // every fault class must still count.
+        let mut link = Link::new(pack(), 0, 2); // periodic drop every 2nd
+        link.seed_faults(3);
+        link.set_fault_dup_per_mille(1000);
+        link.set_fault_stale_status(true);
+        for _ in 0..4 {
+            link.send(Command::QueryBatteryStatus);
+        }
+        link.step(0.1, 0.0, 1.0);
+        let stats = link.stats();
+        assert_eq!(stats.sent, 4);
+        assert_eq!(stats.dropped, 2, "periodic drops counted unobserved");
+        assert_eq!(stats.duplicated, 2, "duplications counted unobserved");
+        assert_eq!(stats.delivered, 4);
+        assert_eq!(stats.stale_served, 4, "stale serves counted unobserved");
+        // And chaos drops too.
+        let mut link = Link::ideal(pack());
+        link.seed_faults(5);
+        link.set_fault_drop_per_mille(1000);
+        link.send(Command::QueryBatteryStatus);
+        assert_eq!(link.stats().dropped, 1);
     }
 
     #[test]

@@ -523,6 +523,58 @@ impl Microcontroller {
         self.transfer = None;
     }
 
+    /// Installs (or with `None` clears) a measurement fault on one
+    /// battery's fuel gauge (chaos testing).
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidParameter`] for an out-of-range index.
+    pub fn set_gauge_fault(
+        &mut self,
+        battery: usize,
+        fault: Option<sdb_fuel_gauge::gauge::GaugeFault>,
+    ) -> Result<(), PowerError> {
+        let Some(gauge) = self.gauges.get_mut(battery) else {
+            return Err(PowerError::InvalidParameter {
+                name: "battery index",
+                value: battery as f64,
+            });
+        };
+        gauge.set_fault(fault);
+        Ok(())
+    }
+
+    /// The active fault on one battery's gauge, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `battery` is out of range.
+    #[must_use]
+    pub fn gauge_fault(&self, battery: usize) -> Option<sdb_fuel_gauge::gauge::GaugeFault> {
+        self.gauges[battery].fault()
+    }
+
+    /// Installs (or with `1.0` clears) a fault resistance multiplier on
+    /// one cell, emulating sudden DCIR growth (chaos testing).
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::InvalidParameter`] for an out-of-range index.
+    pub fn set_cell_fault_resistance(
+        &mut self,
+        battery: usize,
+        mult: f64,
+    ) -> Result<(), PowerError> {
+        let Some(cell) = self.cells.get_mut(battery) else {
+            return Err(PowerError::InvalidParameter {
+                name: "battery index",
+                value: battery as f64,
+            });
+        };
+        cell.set_fault_resistance_mult(mult);
+        Ok(())
+    }
+
     /// Installs (or clears) the firmware thermal charge-throttle. Only
     /// effective on packs built with thermal simulation enabled
     /// ([`crate::pack::PackBuilder::ambient_c`]).

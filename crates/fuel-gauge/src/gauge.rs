@@ -38,6 +38,29 @@ impl Default for GaugeConfig {
     }
 }
 
+/// A fault mode injected into the gauge's measurement path (chaos
+/// testing). Faults corrupt what the gauge *reports*, never the cell
+/// itself — exactly like a real broken sense line or flaky ADC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GaugeFault {
+    /// The SoC estimate freezes at the value it had when the fault was
+    /// installed (a hung gauge IC).
+    StuckSoc,
+    /// Current-sense bias that grows linearly for as long as the fault is
+    /// active (thermal drift in the sense amplifier).
+    BiasRamp {
+        /// Bias growth rate, amps per hour of fault time.
+        amps_per_hour: f64,
+    },
+    /// Quantization storm: current readings quantize at a multiple of the
+    /// configured LSB (an ADC losing effective bits).
+    QuantizationStorm {
+        /// Multiplier on the configured current LSB (the 1 mA default LSB
+        /// is used when the gauge was configured ideal).
+        lsb_scale: f64,
+    },
+}
+
 /// The status row for one battery, as returned by `QueryBatteryStatus()`
 /// (Section 3.3: "an array with state of charge, terminal voltages and
 /// cycle counts for each battery").
@@ -94,6 +117,13 @@ pub struct FuelGauge {
     battery_index: usize,
     /// Cached recalibration counter (registered on `set_observer`).
     recal_counter: Option<Counter>,
+    /// Active injected fault, if any.
+    fault: Option<GaugeFault>,
+    /// Time the active fault has been installed, seconds.
+    fault_elapsed_s: f64,
+    /// SoC estimate captured when a [`GaugeFault::StuckSoc`] fault was
+    /// installed.
+    fault_frozen_soc: f64,
 }
 
 impl FuelGauge {
@@ -128,7 +158,25 @@ impl FuelGauge {
             observer: Observer::disabled(),
             battery_index: 0,
             recal_counter: None,
+            fault: None,
+            fault_elapsed_s: 0.0,
+            fault_frozen_soc: 0.0,
         }
+    }
+
+    /// Installs (or with `None` clears) a measurement fault. Installing a
+    /// fault resets its elapsed-time clock; [`GaugeFault::StuckSoc`]
+    /// freezes the estimate at its current value.
+    pub fn set_fault(&mut self, fault: Option<GaugeFault>) {
+        self.fault = fault;
+        self.fault_elapsed_s = 0.0;
+        self.fault_frozen_soc = self.soc_estimate;
+    }
+
+    /// The active injected fault, if any.
+    #[must_use]
+    pub fn fault(&self) -> Option<GaugeFault> {
+        self.fault
     }
 
     /// Installs the observability hook. Recalibrations emit
@@ -147,7 +195,25 @@ impl FuelGauge {
     /// recalibrates from OCV when the cell has rested long enough.
     pub fn sample(&mut self, terminal_v: f64, current_a: f64, dt_s: f64) {
         debug_assert!(dt_s >= 0.0);
-        let measured_i = self.counter.sample(current_a, dt_s);
+        // Sensor-level faults corrupt the raw reading before the ADC path.
+        let current_a = match self.fault {
+            Some(GaugeFault::BiasRamp { amps_per_hour }) => {
+                self.fault_elapsed_s += dt_s;
+                current_a + amps_per_hour * self.fault_elapsed_s / 3600.0
+            }
+            _ => current_a,
+        };
+        let mut measured_i = self.counter.sample(current_a, dt_s);
+        // ADC-level faults corrupt the quantized measurement.
+        if let Some(GaugeFault::QuantizationStorm { lsb_scale }) = self.fault {
+            let base = if self.config.current_lsb_a > 0.0 {
+                self.config.current_lsb_a
+            } else {
+                0.001
+            };
+            let lsb = base * lsb_scale;
+            measured_i = (measured_i / lsb).round() * lsb;
+        }
         self.last_i = measured_i;
         self.last_v = if self.config.voltage_lsb_v > 0.0 {
             (terminal_v / self.config.voltage_lsb_v).round() * self.config.voltage_lsb_v
@@ -210,6 +276,11 @@ impl FuelGauge {
             }
         } else {
             self.rest_s = 0.0;
+        }
+        // A stuck gauge pins the estimate at the frozen value; once the
+        // fault clears, integration resumes from there (like an IC reset).
+        if matches!(self.fault, Some(GaugeFault::StuckSoc)) {
+            self.soc_estimate = self.fault_frozen_soc;
         }
     }
 
@@ -462,6 +533,53 @@ mod tests {
         }
         let text = obs.registry().unwrap().to_prometheus_text();
         assert!(text.contains("sdb_gauge_recalibrations_total 1"));
+    }
+
+    #[test]
+    fn stuck_fault_freezes_soc_until_cleared() {
+        let spec = spec();
+        let mut gauge = FuelGauge::new(spec, 0.8, ideal_config());
+        gauge.set_fault(Some(GaugeFault::StuckSoc));
+        for _ in 0..600 {
+            gauge.sample(3.7, 1.0, 1.0);
+        }
+        assert!((gauge.soc() - 0.8).abs() < 1e-12, "soc = {}", gauge.soc());
+        gauge.set_fault(None);
+        for _ in 0..600 {
+            gauge.sample(3.7, 1.0, 1.0);
+        }
+        assert!(gauge.soc() < 0.8, "integration resumed after clearing");
+    }
+
+    #[test]
+    fn bias_ramp_drifts_the_estimate() {
+        let spec = spec();
+        let mut clean = FuelGauge::new(spec.clone(), 0.8, ideal_config());
+        let mut faulty = FuelGauge::new(spec, 0.8, ideal_config());
+        faulty.set_fault(Some(GaugeFault::BiasRamp { amps_per_hour: 0.5 }));
+        for _ in 0..3600 {
+            clean.sample(3.7, 0.2, 1.0);
+            faulty.sample(3.7, 0.2, 1.0);
+        }
+        // Mean injected bias over the hour is ~0.25 A vs the true 0.2 A:
+        // the faulty gauge believes far more charge left the cell.
+        assert!(
+            clean.soc() - faulty.soc() > 0.05,
+            "clean {} faulty {}",
+            clean.soc(),
+            faulty.soc()
+        );
+    }
+
+    #[test]
+    fn quantization_storm_coarsens_current() {
+        let spec = spec();
+        let mut gauge = FuelGauge::new(spec, 0.8, ideal_config());
+        gauge.set_fault(Some(GaugeFault::QuantizationStorm { lsb_scale: 100.0 }));
+        // 0.04 A rounds to zero at a 0.1 A LSB: the gauge sees no current.
+        gauge.sample(3.7, 0.04, 60.0);
+        assert_eq!(gauge.status().current_a, 0.0);
+        assert!((gauge.soc() - 0.8).abs() < 1e-12);
     }
 
     #[test]

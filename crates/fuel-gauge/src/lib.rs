@@ -32,4 +32,4 @@ pub mod coulomb;
 pub mod gauge;
 
 pub use coulomb::CoulombCounter;
-pub use gauge::{BatteryStatus, FuelGauge, GaugeConfig};
+pub use gauge::{BatteryStatus, FuelGauge, GaugeConfig, GaugeFault};

@@ -111,6 +111,30 @@ pub enum ObsEvent {
         /// Whether the battery is now physically attached.
         present: bool,
     },
+    /// The runtime re-sent an unacknowledged command over the link.
+    CommandRetry {
+        /// Retry attempt number (1 = first re-send).
+        attempt: u32,
+        /// Backoff that elapsed before this retry, seconds.
+        backoff_s: f64,
+    },
+    /// The runtime's link watchdog engaged (falling back to safe uniform
+    /// ratios) or disengaged (link restored, normal policy resumed).
+    WatchdogTransition {
+        /// `true` when the watchdog engaged, `false` on recovery.
+        engaged: bool,
+        /// How long the link had been silent at the transition, seconds.
+        silent_s: f64,
+    },
+    /// The runtime flagged a fuel gauge as degraded (or healthy again).
+    GaugeDegraded {
+        /// Battery index.
+        battery: usize,
+        /// `true` when flagged degraded, `false` when cleared.
+        degraded: bool,
+        /// Why the gauge was flagged (e.g. `"stuck-soc"`).
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for ObsEvent {
@@ -169,6 +193,23 @@ impl fmt::Display for ObsEvent {
                     if *present { "attached" } else { "detached" }
                 )
             }
+            ObsEvent::CommandRetry { attempt, backoff_s } => {
+                write!(f, "command-retry attempt={attempt} after {backoff_s:.3} s")
+            }
+            ObsEvent::WatchdogTransition { engaged, silent_s } => write!(
+                f,
+                "watchdog {} after {silent_s:.1} s silent",
+                if *engaged { "engaged" } else { "recovered" }
+            ),
+            ObsEvent::GaugeDegraded {
+                battery,
+                degraded,
+                reason,
+            } => write!(
+                f,
+                "gauge-degraded battery={battery} {} ({reason})",
+                if *degraded { "flagged" } else { "cleared" }
+            ),
         }
     }
 }

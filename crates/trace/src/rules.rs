@@ -55,6 +55,8 @@ pub enum Signal {
     /// Ratio pushes accepted by the hardware within the window (policy
     /// evaluations with `pushed = true`).
     DirectivePushesInWindow,
+    /// Watchdog engagements (link declared dark) within the window.
+    WatchdogEngagementsInWindow,
 }
 
 impl Signal {
@@ -65,6 +67,7 @@ impl Signal {
             Signal::UnmetPowerW => "unmet_power_w",
             Signal::ThermalTransitionsInWindow => "thermal_transitions_in_window",
             Signal::DirectivePushesInWindow => "directive_pushes_in_window",
+            Signal::WatchdogEngagementsInWindow => "watchdog_engagements_in_window",
         }
     }
 }
@@ -157,6 +160,16 @@ pub fn default_rules() -> Vec<RuleSpec> {
             threshold: 8.0,
             cmp: Cmp::Above,
             severity: Severity::Info,
+        },
+        RuleSpec {
+            id: "watchdog-flapping".to_owned(),
+            description: "more than 2 watchdog engagements in 30 min (link repeatedly going dark)"
+                .to_owned(),
+            signal: Signal::WatchdogEngagementsInWindow,
+            window_s: 1800.0,
+            threshold: 2.0,
+            cmp: Cmp::Above,
+            severity: Severity::Warning,
         },
     ]
 }
@@ -261,6 +274,10 @@ impl RuleEngine {
                     Signal::DirectivePushesInWindow,
                     ObsEvent::PolicyEvaluation { pushed: true, .. },
                 ) => Some(1.0),
+                (
+                    Signal::WatchdogEngagementsInWindow,
+                    ObsEvent::WatchdogTransition { engaged: true, .. },
+                ) => Some(1.0),
                 _ => None,
             };
             let Some(sample) = sample else { continue };
@@ -287,7 +304,9 @@ impl RuleEngine {
                     }
                     (v0 - sample) / (span_s / 3600.0)
                 }
-                Signal::ThermalTransitionsInWindow | Signal::DirectivePushesInWindow => {
+                Signal::ThermalTransitionsInWindow
+                | Signal::DirectivePushesInWindow
+                | Signal::WatchdogEngagementsInWindow => {
                     state.window.push_back((t_s, sample));
                     while let Some(&(t0, _)) = state.window.front() {
                         if t_s - t0 > rule.window_s {

@@ -25,6 +25,9 @@ pub const EVENT_KINDS: &[&str] = &[
     "safety_clamp",
     "step_sample",
     "battery_presence",
+    "command_retry",
+    "watchdog_transition",
+    "gauge_degraded",
 ];
 
 /// The `kind` string of one event.
@@ -40,6 +43,9 @@ pub fn event_kind(event: &ObsEvent) -> &'static str {
         ObsEvent::SafetyClamp { .. } => "safety_clamp",
         ObsEvent::StepSample { .. } => "step_sample",
         ObsEvent::BatteryPresence { .. } => "battery_presence",
+        ObsEvent::CommandRetry { .. } => "command_retry",
+        ObsEvent::WatchdogTransition { .. } => "watchdog_transition",
+        ObsEvent::GaugeDegraded { .. } => "gauge_degraded",
     }
 }
 
@@ -182,6 +188,31 @@ pub fn to_jsonl_line(e: &DeviceEvent) -> String {
         ObsEvent::BatteryPresence { battery, present } => {
             let _ = write!(out, ",\"battery\":{battery},\"present\":{present}");
         }
+        ObsEvent::CommandRetry { attempt, backoff_s } => {
+            let _ = write!(
+                out,
+                ",\"attempt\":{attempt},\"backoff_s\":{}",
+                fmt_f64(*backoff_s)
+            );
+        }
+        ObsEvent::WatchdogTransition { engaged, silent_s } => {
+            let _ = write!(
+                out,
+                ",\"engaged\":{engaged},\"silent_s\":{}",
+                fmt_f64(*silent_s)
+            );
+        }
+        ObsEvent::GaugeDegraded {
+            battery,
+            degraded,
+            reason,
+        } => {
+            let _ = write!(
+                out,
+                ",\"battery\":{battery},\"degraded\":{degraded},\"reason\":\"{}\"",
+                esc(reason)
+            );
+        }
     }
     out.push('}');
     out
@@ -311,6 +342,19 @@ pub fn from_jsonl_line(line: &str) -> Result<DeviceEvent, String> {
         "battery_presence" => ObsEvent::BatteryPresence {
             battery: need_usize(&v, "battery")?,
             present: need_bool(&v, "present")?,
+        },
+        "command_retry" => ObsEvent::CommandRetry {
+            attempt: u32::try_from(need_u64(&v, "attempt")?).map_err(|e| e.to_string())?,
+            backoff_s: need_f64(&v, "backoff_s")?,
+        },
+        "watchdog_transition" => ObsEvent::WatchdogTransition {
+            engaged: need_bool(&v, "engaged")?,
+            silent_s: need_f64(&v, "silent_s")?,
+        },
+        "gauge_degraded" => ObsEvent::GaugeDegraded {
+            battery: need_usize(&v, "battery")?,
+            degraded: need_bool(&v, "degraded")?,
+            reason: intern(need_str(&v, "reason")?),
         },
         other => return Err(format!("unknown event kind `{other}`")),
     };
@@ -512,6 +556,34 @@ mod tests {
                     present: false,
                 },
             },
+            DeviceEvent {
+                device: 1,
+                seq: 7,
+                t_s: 150.0,
+                event: ObsEvent::CommandRetry {
+                    attempt: 2,
+                    backoff_s: 7.5,
+                },
+            },
+            DeviceEvent {
+                device: 1,
+                seq: 8,
+                t_s: 155.0,
+                event: ObsEvent::WatchdogTransition {
+                    engaged: true,
+                    silent_s: 30.0,
+                },
+            },
+            DeviceEvent {
+                device: 1,
+                seq: 9,
+                t_s: 156.0,
+                event: ObsEvent::GaugeDegraded {
+                    battery: 0,
+                    degraded: true,
+                    reason: "stuck-soc",
+                },
+            },
         ]
     }
 
@@ -567,8 +639,8 @@ mod tests {
         // It must itself be valid JSON (our parser accepts full JSON).
         let v = json::parse(&chrome).unwrap();
         let arr = v.get("traceEvents").unwrap().as_arr().unwrap();
-        // 2 metadata + 2 counters (one step sample) + 8 instants.
-        assert_eq!(arr.len(), 12);
+        // 2 metadata + 2 counters (one step sample) + 11 instants.
+        assert_eq!(arr.len(), 15);
         assert!(chrome.contains("\"name\":\"device-0\""));
         assert!(chrome.contains("\"name\":\"device-1\""));
         assert!(chrome.contains("\"ph\":\"C\""));

@@ -11,6 +11,8 @@
 //!            [--events-out <jsonl>] [--trace-out <jsonl>]   (trace-out also writes a Perfetto-loadable .chrome.json)
 //! sdb analyze --trace <jsonl> [--json]       replay a recorded trace through the health rules
 //! sdb analyze --devices 200 --seed 42 [--hours H] [--threads N] [--json]   run a fleet inline and analyze it
+//! sdb chaos  --devices 200 --seed 42 [--intensity 0.7] [--hours H] [--load W] [--threads N] [--json] [--out <path>]
+//!            run a fault-injection campaign; exits non-zero on any invariant violation
 //! ```
 
 use sdb::battery_model::{library, BatterySpec, Chemistry};
@@ -172,7 +174,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]"
+        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>]"
     );
     ExitCode::FAILURE
 }
@@ -577,6 +579,54 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
+    let mut spec = sdb::chaos::CampaignSpec::default();
+    if let Some(v) = flags.get("devices").and_then(|s| s.parse().ok()) {
+        spec.devices = v;
+    }
+    if let Some(v) = flags.get("seed").and_then(|s| s.parse().ok()) {
+        spec.master_seed = v;
+    }
+    if let Some(v) = flags.get("intensity").and_then(|s| s.parse().ok()) {
+        spec.intensity = v;
+    }
+    if let Some(v) = flags.get("hours").and_then(|s| s.parse::<f64>().ok()) {
+        spec.horizon_s = v * 3600.0;
+    }
+    if let Some(v) = flags.get("load").and_then(|s| s.parse().ok()) {
+        spec.load_w = v;
+    }
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
+    let report = match sdb::chaos::run_campaign(&spec, threads) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("chaos campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let body = if flags.contains_key("json") {
+        format!("{}\n", report.to_json())
+    } else {
+        report.render_text()
+    };
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("failed to write report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote chaos report to {path}");
+    }
+    emit(&body);
+    if report.total_violations > 0 {
+        eprintln!("{} invariant violations detected", report.total_violations);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = parse_flags(&args[1.min(args.len())..]);
@@ -602,6 +652,7 @@ fn main() -> ExitCode {
         Some("status") => cmd_status(&flags),
         Some("fleet") => cmd_fleet(&flags),
         Some("analyze") => cmd_analyze(&flags),
+        Some("chaos") => cmd_chaos(&flags),
         _ => usage(),
     }
 }

@@ -64,6 +64,7 @@
 //! `sdb-bench` crate for the full figure-regeneration harness.
 
 pub use sdb_battery_model as battery_model;
+pub use sdb_chaos as chaos;
 pub use sdb_core as core;
 pub use sdb_emulator as emulator;
 pub use sdb_fleet as fleet;

@@ -60,15 +60,20 @@ fn charge_one_from_another_through_link() {
         .build();
     micro.set_discharge_ratios(&[1.0, 0.0]).unwrap();
     let mut link = Link::ideal(micro);
+    // Invariant-check the transfer: energy books must balance (sdb-chaos).
+    let mut checker = sdb::chaos::InvariantChecker::for_micro(link.micro());
     link.send(Command::ChargeOneFromAnother {
         from: 0,
         to: 1,
         power_w: 4.0,
         duration_s: 900.0,
     });
-    for _ in 0..20 {
-        link.step(0.0, 0.0, 60.0);
+    for i in 0..20 {
+        let report = link.step(0.0, 0.0, 60.0);
+        checker.check_step(f64::from(i + 1) * 60.0, &report);
+        checker.check_micro(f64::from(i + 1) * 60.0, link.micro());
     }
+    assert!(checker.is_clean(), "{:?}", checker.violations());
     assert!(link.cells()[1].soc() > 0.3, "destination gained charge");
     assert!(link.cells()[0].soc() < 1.0, "source paid for it");
 }

@@ -5,7 +5,13 @@ use sdb::battery_model::{BatterySpec, Chemistry};
 use sdb::core::metrics::{ccb, wear_ratios};
 use sdb::core::policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
 use sdb::core::runtime::SdbRuntime;
-use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
+// The chaos harness wrappers are drop-in: same signatures, but every
+// simulation step is invariant-checked (energy conservation, SoC bounds,
+// ratio validity, safety envelope, wear monotonicity).
+use sdb::chaos::{
+    checked_run_charge_session as run_charge_session, checked_run_trace as run_trace,
+};
+use sdb::core::scheduler::SimOptions;
 use sdb::emulator::profile::ProfileKind;
 use sdb::emulator::{Microcontroller, PackBuilder};
 use sdb::workloads::device::Activity;

@@ -1,0 +1,104 @@
+//! Golden snapshot tests: every example binary's stdout is byte-stable.
+//!
+//! The examples are deterministic end-to-end (fixed packs, fixed traces,
+//! no wall clock, no ambient randomness), so their output is part of the
+//! repo's behavioral surface: a drifting snapshot means the physics, a
+//! policy, or a report format changed. Regenerate intentionally with
+//! `SDB_REGEN_GOLDEN=1 cargo test --test golden_examples`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXAMPLES: [&str; 6] = [
+    "ev_route",
+    "fast_charge",
+    "optimal_planning",
+    "quickstart",
+    "smart_watch",
+    "two_in_one",
+];
+
+/// `target/<profile>/examples/`, located relative to the test executable
+/// (which lives in `target/<profile>/deps/`).
+fn examples_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test exe path");
+    dir.pop(); // the test binary
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir.join("examples")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.stdout"))
+}
+
+#[test]
+fn example_stdout_matches_golden_snapshots() {
+    let dir = examples_dir();
+    let regen = std::env::var_os("SDB_REGEN_GOLDEN").is_some();
+    let mut drifted = Vec::new();
+    for name in EXAMPLES {
+        let bin = dir.join(name);
+        assert!(
+            bin.exists(),
+            "{} not built — run via `cargo test` so cargo builds the examples",
+            bin.display()
+        );
+        let out = Command::new(&bin).output().expect("example runs");
+        assert!(
+            out.status.success(),
+            "{name} exited with {:?}:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let golden = golden_path(name);
+        if regen {
+            std::fs::write(&golden, &out.stdout).expect("write golden");
+            continue;
+        }
+        let expected = std::fs::read(&golden)
+            .unwrap_or_else(|e| panic!("missing golden {}: {e}", golden.display()));
+        if out.stdout != expected {
+            let got = String::from_utf8_lossy(&out.stdout);
+            let want = String::from_utf8_lossy(&expected);
+            let first_diff = got
+                .lines()
+                .zip(want.lines())
+                .enumerate()
+                .find(|(_, (g, w))| g != w)
+                .map_or_else(
+                    || {
+                        format!(
+                            "line counts differ: {} vs {}",
+                            got.lines().count(),
+                            want.lines().count()
+                        )
+                    },
+                    |(i, (g, w))| format!("line {}: got {g:?}, want {w:?}", i + 1),
+                );
+            drifted.push(format!("{name}: {first_diff}"));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "example output drifted from golden snapshots \
+         (SDB_REGEN_GOLDEN=1 to regenerate intentionally):\n  {}",
+        drifted.join("\n  ")
+    );
+}
+
+/// The snapshots themselves are non-trivial: each golden file has content.
+#[test]
+fn golden_snapshots_are_nonempty() {
+    for name in EXAMPLES {
+        let bytes = std::fs::read(golden_path(name)).expect("golden exists");
+        assert!(bytes.len() > 100, "{name} snapshot suspiciously small");
+        assert!(
+            std::str::from_utf8(&bytes).is_ok(),
+            "{name} snapshot is not UTF-8"
+        );
+    }
+}

@@ -51,6 +51,8 @@ fn autopilot_survives_varied_days_better_than_day_one() {
         let mut micro = build_pack();
         let mut runtime = SdbRuntime::new(2);
         runtime.set_update_period(60.0);
+        // Invariant-check the hand-rolled step loop too (sdb-chaos).
+        let mut checker = sdb::chaos::InvariantChecker::for_micro(&micro);
         let mut elapsed = 0.0;
         let mut brownout = None;
         for p in day.resampled(60.0).points() {
@@ -59,10 +61,13 @@ fn autopilot_survives_varied_days_better_than_day_one() {
             runtime.tick(&mut micro, &input, p.dur_s).expect("accepted");
             let r = micro.step(p.load_w, 0.0, p.dur_s);
             elapsed += p.dur_s;
+            checker.check_step(elapsed, &r);
             if r.unmet_w > 1e-9 && brownout.is_none() {
                 brownout = Some(elapsed);
             }
         }
+        checker.check_micro(elapsed, &micro);
+        assert!(checker.is_clean(), "{:?}", checker.violations());
         lives.push(brownout.unwrap_or(elapsed));
     }
     // After learning, later days must not be worse on average than the

@@ -6,7 +6,12 @@ use sdb::battery_model::{BatterySpec, Chemistry};
 use sdb::core::metrics::{ccb, wear_ratios};
 use sdb::core::policy::{ChargeDirective, DischargeDirective};
 use sdb::core::runtime::SdbRuntime;
-use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
+// Invariant-checked drop-ins (sdb-chaos harness): wear runs must conserve
+// energy and keep cycle counts monotone on every step.
+use sdb::chaos::{
+    checked_run_charge_session as run_charge_session, checked_run_trace as run_trace,
+};
+use sdb::core::scheduler::SimOptions;
 use sdb::emulator::{Microcontroller, PackBuilder, ProfileKind};
 use sdb::workloads::Trace;
 

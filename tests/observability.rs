@@ -4,7 +4,9 @@
 
 use sdb::battery_model::{BatterySpec, Chemistry};
 use sdb::core::runtime::SdbRuntime;
-use sdb::core::scheduler::{run_trace, SimOptions};
+// Invariant-checked drop-in for run_trace (sdb-chaos harness).
+use sdb::chaos::checked_run_trace as run_trace;
+use sdb::core::scheduler::SimOptions;
 use sdb::core::telemetry::Telemetry;
 use sdb::emulator::micro::ThermalThrottle;
 use sdb::emulator::{Microcontroller, PackBuilder, ProfileKind};

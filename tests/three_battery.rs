@@ -5,7 +5,11 @@ use sdb::battery_model::{BatterySpec, Chemistry};
 use sdb::core::api::SdbApi;
 use sdb::core::policy::{rbl_discharge, DischargeDirective, PolicyInput};
 use sdb::core::runtime::SdbRuntime;
-use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
+// Invariant-checked drop-ins (sdb-chaos harness).
+use sdb::chaos::{
+    checked_run_charge_session as run_charge_session, checked_run_trace as run_trace,
+};
+use sdb::core::scheduler::SimOptions;
 use sdb::emulator::{Microcontroller, PackBuilder, ProfileKind};
 use sdb::workloads::Trace;
 
