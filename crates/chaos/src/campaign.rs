@@ -16,7 +16,7 @@ use sdb_core::runtime::{ResilienceConfig, SdbRuntime};
 use sdb_core::scheduler::{run_trace_linked_with, LinkedSimOptions, SimOptions};
 use sdb_emulator::link::Link;
 use sdb_emulator::pack::PackBuilder;
-use sdb_observe::{EventSink, ObsEvent, Observer};
+use sdb_observe::{EventSink, MetricsRegistry, ObsEvent, Observer};
 use sdb_rng::derive_seed;
 use sdb_workloads::traces::Trace;
 use std::fmt::Write as _;
@@ -102,8 +102,15 @@ impl EventSink for ResilienceCounters {
     }
 }
 
-/// Builds and runs one chaos device.
-fn run_device(spec: &CampaignSpec, device: u64) -> ChaosOutcome {
+/// Builds and runs one chaos device. With `registry`, the device's
+/// observer registers its counters there (shared across devices and
+/// threads; atomic sums keep totals deterministic) so a live scraper can
+/// watch the campaign progress.
+fn run_device(
+    spec: &CampaignSpec,
+    device: u64,
+    registry: Option<&MetricsRegistry>,
+) -> ChaosOutcome {
     let seed = derive_seed(spec.master_seed, device);
     let micro = PackBuilder::new()
         .battery(BatterySpec::from_chemistry(
@@ -121,7 +128,10 @@ fn run_device(spec: &CampaignSpec, device: u64) -> ChaosOutcome {
     link.seed_faults(derive_seed(seed, 1));
 
     let counters = Arc::new(Mutex::new(ResilienceCounters::default()));
-    let obs = Observer::new();
+    let obs = match registry {
+        Some(r) => Observer::with_registry(r.clone()),
+        None => Observer::new(),
+    };
     obs.add_sink(Box::new(Arc::clone(&counters)));
     link.micro_mut().set_observer(obs.clone());
     let mut runtime = SdbRuntime::new(2);
@@ -356,6 +366,32 @@ impl CampaignReport {
 /// Returns an error for an empty campaign, invalid intensity/horizon, or
 /// if a worker panicked.
 pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignReport, String> {
+    run_campaign_inner(spec, threads, None)
+}
+
+/// [`run_campaign`] with a caller-supplied live metrics registry: every
+/// device observer registers into it, so campaign counters (fault
+/// injections via events, span timings, `sdb_dropped_events_total` from
+/// any attached recorder) are scrapeable while the campaign runs. Counter
+/// totals are commutative atomic sums, so the [`CampaignReport`] stays
+/// byte-identical at any thread count.
+///
+/// # Errors
+///
+/// Same as [`run_campaign`].
+pub fn run_campaign_observed(
+    spec: &CampaignSpec,
+    threads: usize,
+    registry: &MetricsRegistry,
+) -> Result<CampaignReport, String> {
+    run_campaign_inner(spec, threads, Some(registry))
+}
+
+fn run_campaign_inner(
+    spec: &CampaignSpec,
+    threads: usize,
+    registry: Option<&MetricsRegistry>,
+) -> Result<CampaignReport, String> {
     if spec.devices == 0 {
         return Err("campaign needs at least one device".to_owned());
     }
@@ -378,7 +414,7 @@ pub fn run_campaign(spec: &CampaignSpec, threads: usize) -> Result<CampaignRepor
                         if i >= spec.devices {
                             break;
                         }
-                        outcomes.push(run_device(spec, i as u64));
+                        outcomes.push(run_device(spec, i as u64, registry));
                     }
                     outcomes
                 })
@@ -431,6 +467,26 @@ mod tests {
         );
         let table_events: u64 = report.per_class.iter().map(|r| r.activations).sum();
         assert_eq!(table_events, report.total_faults);
+    }
+
+    #[test]
+    fn observed_campaign_matches_and_populates_the_registry() {
+        let spec = tiny();
+        let plain = run_campaign(&spec, 2).unwrap();
+        let registry = MetricsRegistry::new();
+        let observed = run_campaign_observed(&spec, 2, &registry).unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(plain.to_json(), observed.to_json());
+        // The shared registry accumulated counters across all devices.
+        let totals = registry.counter_totals();
+        assert!(
+            !totals.is_empty(),
+            "observed campaign should register counters"
+        );
+        // Counter totals are thread-count invariant too.
+        let reg1 = MetricsRegistry::new();
+        run_campaign_observed(&spec, 1, &reg1).unwrap();
+        assert_eq!(reg1.counter_totals(), registry.counter_totals());
     }
 
     #[test]

@@ -156,6 +156,42 @@ pub fn run_fleet_captured(
     threads: usize,
     capture_events: bool,
 ) -> Result<(FleetReport, FleetRunStats, Option<Vec<DeviceEvent>>), String> {
+    run_fleet_inner(spec, threads, capture_events, None)
+}
+
+/// [`run_fleet_captured`] with a caller-supplied **live** metrics
+/// registry: every shard registers into `live` directly, so counters
+/// (devices completed, ratio pushes, dropped events) are visible to
+/// concurrent scrapers — the `sdb serve` `/metrics` endpoint — while the
+/// run progresses, instead of appearing only after the post-join merge.
+///
+/// Determinism: the [`FleetReport`] embeds only counter totals and those
+/// are sums of atomic increments — commutative, so sharing one registry
+/// across shards yields exactly the totals the per-shard merge would.
+/// Span histograms likewise add commutatively. Gauges become
+/// last-write-wins across shards (the merge's max-rule doesn't apply);
+/// they are wall-clock-adjacent live views and stay quarantined in
+/// [`FleetRunStats`], never in the report — which therefore remains
+/// bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns the spec validation error, or a message if a worker panicked.
+pub fn run_fleet_live(
+    spec: &FleetSpec,
+    threads: usize,
+    capture_events: bool,
+    live: &MetricsRegistry,
+) -> Result<(FleetReport, FleetRunStats, Option<Vec<DeviceEvent>>), String> {
+    run_fleet_inner(spec, threads, capture_events, Some(live))
+}
+
+fn run_fleet_inner(
+    spec: &FleetSpec,
+    threads: usize,
+    capture_events: bool,
+    live: Option<&MetricsRegistry>,
+) -> Result<(FleetReport, FleetRunStats, Option<Vec<DeviceEvent>>), String> {
     spec.validate()?;
     let threads = threads.max(1);
     let start = Instant::now();
@@ -172,7 +208,10 @@ pub fn run_fleet_captured(
             .map(|_| {
                 let next = &next;
                 s.spawn(move || {
-                    let obs = Observer::new();
+                    let obs = match live {
+                        Some(registry) => Observer::with_registry(registry.clone()),
+                        None => Observer::new(),
+                    };
                     let collector = if capture_events {
                         let shared = TraceCollector::shared();
                         obs.add_sink(Box::new(shared.clone()));
@@ -223,13 +262,17 @@ pub fn run_fleet_captured(
     // scheduling, so re-establish device order before any aggregation.
     // Sketches merge commutatively, so shard order is irrelevant there.
     let mut outcomes: Vec<DeviceOutcome> = Vec::with_capacity(spec.devices);
-    let merged = MetricsRegistry::new();
+    // In live mode every shard already wrote into the shared registry, so
+    // "merging" it per shard would double-count; just adopt the handle.
+    let merged = live.map_or_else(MetricsRegistry::new, MetricsRegistry::clone);
     let mut sketches = FleetSketches::new();
     let mut events: Option<Vec<DeviceEvent>> = capture_events.then(Vec::new);
     for (shard_outcomes, obs, shard_sketches, shard_events) in shards {
         outcomes.extend(shard_outcomes);
-        if let Some(reg) = obs.registry() {
-            merged.merge_from(reg);
+        if live.is_none() {
+            if let Some(reg) = obs.registry() {
+                merged.merge_from(reg);
+            }
         }
         sketches.merge_from(&shard_sketches);
         if let (Some(all), Some(shard)) = (events.as_mut(), shard_events) {
@@ -341,6 +384,23 @@ mod tests {
         // Without capture, no events and no collector overhead.
         let (_, _, none) = run_fleet_captured(&spec, 2, false).unwrap();
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn live_registry_matches_merged_counters_and_keeps_the_report_identical() {
+        let spec = tiny_spec(12);
+        let (r_merged, s_merged, _) = run_fleet_captured(&spec, 3, false).unwrap();
+        let live = MetricsRegistry::new();
+        let (r_live, s_live, _) = run_fleet_live(&spec, 3, false, &live).unwrap();
+        assert_eq!(r_merged, r_live);
+        assert_eq!(r_merged.to_json(), r_live.to_json());
+        // The stats registry is the caller's live registry, and its
+        // counter totals equal the per-shard-merge totals exactly.
+        assert_eq!(s_live.registry.counter_totals(), live.counter_totals());
+        assert_eq!(s_merged.registry.counter_totals(), live.counter_totals());
+        // Thread count still doesn't change the report in live mode.
+        let (r1, _, _) = run_fleet_live(&spec, 1, false, &MetricsRegistry::new()).unwrap();
+        assert_eq!(r1, r_live);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod report;
 pub mod sketches;
 pub mod spec;
 
-pub use engine::{run_fleet, run_fleet_captured, DeviceOutcome, FleetRunStats};
+pub use engine::{run_fleet, run_fleet_captured, run_fleet_live, DeviceOutcome, FleetRunStats};
 pub use report::{CohortReport, DistSummary, FleetReport};
 pub use sketches::{
     render_deltas_json, render_deltas_text, FleetSketches, SketchDelta, FLEET_SKETCH_ALPHA,

@@ -248,6 +248,9 @@ pub struct FlightRecorder {
     next: usize,
     /// Total events ever recorded (≥ `ring.len()`).
     total: u64,
+    /// Incremented on every ring overwrite, so overflow is visible in the
+    /// metrics registry instead of silently losing history.
+    drop_counter: Option<crate::metrics::Counter>,
 }
 
 impl FlightRecorder {
@@ -264,6 +267,7 @@ impl FlightRecorder {
             capacity,
             next: 0,
             total: 0,
+            drop_counter: None,
         }
     }
 
@@ -273,6 +277,26 @@ impl FlightRecorder {
     #[must_use]
     pub fn shared(capacity: usize) -> Arc<Mutex<FlightRecorder>> {
         Arc::new(Mutex::new(Self::new(capacity)))
+    }
+
+    /// A shared recorder whose ring overwrites increment
+    /// `sdb_dropped_events_total` in `registry`. Overflow was historically
+    /// silent (only visible by polling [`FlightRecorder::overwritten`]);
+    /// the counter puts event loss on the ordinary metrics scrape path so
+    /// dashboards and smoke tests can assert it stays zero.
+    #[must_use]
+    pub fn shared_with_registry(
+        capacity: usize,
+        registry: &crate::metrics::MetricsRegistry,
+    ) -> Arc<Mutex<FlightRecorder>> {
+        let mut recorder = Self::new(capacity);
+        recorder.drop_counter = Some(registry.counter("sdb_dropped_events_total", &[]));
+        Arc::new(Mutex::new(recorder))
+    }
+
+    /// Attaches a counter incremented on every ring overwrite.
+    pub fn set_drop_counter(&mut self, counter: crate::metrics::Counter) {
+        self.drop_counter = Some(counter);
     }
 
     /// Maximum number of retained events.
@@ -341,6 +365,9 @@ impl EventSink for FlightRecorder {
             self.ring.push(entry);
         } else {
             self.ring[self.next] = entry;
+            if let Some(c) = &self.drop_counter {
+                c.inc();
+            }
         }
         self.next = (self.next + 1) % self.capacity;
         self.total += 1;
@@ -489,6 +516,26 @@ mod tests {
         // One overwrite: dump starts at 1.
         let times: Vec<f64> = r.dump().iter().map(|e| e.t_s).collect();
         assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn overflow_increments_the_drop_counter() {
+        let reg = crate::metrics::MetricsRegistry::new();
+        let shared = FlightRecorder::shared_with_registry(2, &reg);
+        let dropped = reg.counter("sdb_dropped_events_total", &[]);
+        {
+            let mut r = shared.lock().unwrap();
+            r.record(0.0, &ev(0));
+            r.record(1.0, &ev(1));
+            assert_eq!(dropped.get(), 0, "no overflow while the ring has room");
+            r.record(2.0, &ev(2));
+            r.record(3.0, &ev(3));
+            assert_eq!(dropped.get(), 2);
+            assert_eq!(r.overwritten(), 2);
+        }
+        assert!(reg
+            .to_prometheus_text()
+            .contains("sdb_dropped_events_total 2\n"));
     }
 
     #[test]

@@ -1,0 +1,515 @@
+//! Gorilla-style chunk compression: delta-of-delta timestamps and
+//! XOR-compressed `f64` values over a bit stream.
+//!
+//! The encoding follows the Facebook Gorilla paper (Pelkonen et al.,
+//! VLDB 2015) with two local adaptations:
+//!
+//! * Timestamps are integer **microseconds** (`i64`). Simulation time is
+//!   `f64` seconds everywhere else in the stack; the store quantizes at
+//!   ingest ([`crate::store`]) so the compressed axis is exact integers —
+//!   delta-of-delta over regular step cadences is then almost always the
+//!   single `0` bit.
+//! * The widest delta-of-delta class is a full 64 bits (Gorilla stops at
+//!   32), so arbitrary — even out-of-order — timestamps still round-trip
+//!   bit-exactly; disorder costs bits, never correctness.
+//!
+//! Values use the classic XOR scheme: identical value → 1 bit; same
+//! leading/trailing-zero window as the previous XOR → `10` + meaningful
+//! bits; otherwise `11` + 5-bit leading-zero count + 6-bit length + the
+//! meaningful bits. Every finite and non-finite `f64` bit pattern
+//! round-trips exactly (the codec never inspects the float's numeric
+//! value, only its bits).
+
+/// An append-only bit stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Bits used in the final byte (0 means the last byte is full/absent).
+    used: u8,
+}
+
+impl BitWriter {
+    /// An empty stream.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bits written.
+    #[must_use]
+    pub fn len_bits(&self) -> usize {
+        if self.used == 0 {
+            self.buf.len() * 8
+        } else {
+            (self.buf.len() - 1) * 8 + usize::from(self.used)
+        }
+    }
+
+    /// Bytes backing the stream (last byte zero-padded).
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Heap bytes currently held.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends one bit.
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.used == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.last_mut().expect("pushed above");
+            *last |= 0x80 >> self.used;
+        }
+        self.used = (self.used + 1) % 8;
+    }
+
+    /// Appends the low `n` bits of `v`, most-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 64`.
+    pub fn push_bits(&mut self, v: u64, n: u8) {
+        assert!(n <= 64, "cannot push {n} bits");
+        for i in (0..n).rev() {
+            self.push_bit((v >> i) & 1 == 1);
+        }
+    }
+}
+
+/// A cursor over a [`BitWriter`]'s bytes.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over `bytes`.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool, &'static str> {
+        let byte = self.bytes.get(self.pos / 8).ok_or("bit stream exhausted")?;
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `n` bits, most-significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` at end of stream.
+    pub fn read_bits(&mut self, n: u8) -> Result<u64, &'static str> {
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(v)
+    }
+}
+
+/// Delta-of-delta class thresholds: `(control bits, control len, payload bits)`.
+/// Classes follow Gorilla §4.1 with a 64-bit final class.
+const DOD_CLASSES: [(u64, u8, u8); 4] = [
+    (0b10, 2, 7),    // dod in [-63, 64]
+    (0b110, 3, 9),   // dod in [-255, 256]
+    (0b1110, 4, 12), // dod in [-2047, 2048]
+    (0b1111, 4, 64), // anything else
+];
+
+/// A streaming Gorilla encoder for one series chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkEncoder {
+    bits: BitWriter,
+    count: usize,
+    first_t: i64,
+    prev_t: i64,
+    prev_delta: i64,
+    prev_v: u64,
+    /// Leading-zero / meaningful-length window of the previous XOR
+    /// (`None` until a `11`-class value is written).
+    prev_window: Option<(u8, u8)>,
+}
+
+impl ChunkEncoder {
+    /// An empty encoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bits: BitWriter::new(),
+            count: 0,
+            first_t: 0,
+            prev_t: 0,
+            prev_delta: 0,
+            prev_v: 0,
+            prev_window: None,
+        }
+    }
+
+    /// Samples appended so far.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Compressed payload size in bytes (zero-padded to the byte).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bits.byte_len()
+    }
+
+    /// Timestamp of the first appended sample (0 when empty).
+    #[must_use]
+    pub fn first_t(&self) -> i64 {
+        self.first_t
+    }
+
+    /// Timestamp of the last appended sample (0 when empty).
+    #[must_use]
+    pub fn last_t(&self) -> i64 {
+        self.prev_t
+    }
+
+    /// Appends one `(timestamp, value)` sample.
+    pub fn push(&mut self, t_us: i64, value: f64) {
+        let v = value.to_bits();
+        if self.count == 0 {
+            self.bits.push_bits(t_us as u64, 64);
+            self.bits.push_bits(v, 64);
+            self.first_t = t_us;
+            self.prev_t = t_us;
+            self.prev_delta = 0;
+            self.prev_v = v;
+            self.count = 1;
+            return;
+        }
+        // Timestamp: delta-of-delta classes.
+        let delta = t_us.wrapping_sub(self.prev_t);
+        let dod = delta.wrapping_sub(self.prev_delta);
+        if dod == 0 {
+            self.bits.push_bit(false);
+        } else {
+            // Gorilla offsets each class so its payload range is
+            // symmetric-ish around zero: [-2^(n-1)+1, 2^(n-1)].
+            let mut written = false;
+            for (ctrl, ctrl_len, payload) in DOD_CLASSES {
+                if payload == 64 {
+                    self.bits.push_bits(ctrl, ctrl_len);
+                    self.bits.push_bits(dod as u64, 64);
+                    written = true;
+                    break;
+                }
+                let lo = -(1i64 << (payload - 1)) + 1;
+                let hi = 1i64 << (payload - 1);
+                if (lo..=hi).contains(&dod) {
+                    self.bits.push_bits(ctrl, ctrl_len);
+                    self.bits.push_bits((dod - lo) as u64, payload);
+                    written = true;
+                    break;
+                }
+            }
+            debug_assert!(written, "64-bit class is total");
+        }
+        self.prev_delta = delta;
+        self.prev_t = t_us;
+
+        // Value: XOR against the previous value.
+        let xor = v ^ self.prev_v;
+        if xor == 0 {
+            self.bits.push_bit(false);
+        } else {
+            self.bits.push_bit(true);
+            let lead = (xor.leading_zeros() as u8).min(31);
+            let trail = xor.trailing_zeros() as u8;
+            let len = 64 - lead - trail;
+            let fits_prev = self.prev_window.is_some_and(|(pl, plen)| {
+                let ptrail = 64 - pl - plen;
+                lead >= pl && trail >= ptrail
+            });
+            if fits_prev {
+                let (pl, plen) = self.prev_window.expect("checked above");
+                self.bits.push_bit(false);
+                self.bits.push_bits(xor >> (64 - pl - plen), plen);
+            } else {
+                self.bits.push_bit(true);
+                self.bits.push_bits(u64::from(lead), 5);
+                // len is in 1..=64 (xor != 0); store len-1 in 6 bits.
+                self.bits.push_bits(u64::from(len - 1), 6);
+                self.bits.push_bits(xor >> trail, len);
+                self.prev_window = Some((lead, len));
+            }
+        }
+        self.prev_v = v;
+        self.count += 1;
+    }
+
+    /// Finishes the chunk, returning the compressed payload.
+    #[must_use]
+    pub fn finish(self) -> CompressedChunk {
+        CompressedChunk {
+            bytes: self.bits.as_bytes().to_vec(),
+            count: self.count,
+            first_t: self.first_t,
+            last_t: self.prev_t,
+        }
+    }
+}
+
+impl Default for ChunkEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A sealed, immutable compressed chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressedChunk {
+    bytes: Vec<u8>,
+    count: usize,
+    first_t: i64,
+    last_t: i64,
+}
+
+impl CompressedChunk {
+    /// Number of samples in the chunk.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Compressed size in bytes.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// First sample timestamp (microseconds).
+    #[must_use]
+    pub fn first_t(&self) -> i64 {
+        self.first_t
+    }
+
+    /// Last sample timestamp (microseconds).
+    #[must_use]
+    pub fn last_t(&self) -> i64 {
+        self.last_t
+    }
+
+    /// Decodes every sample in append order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the bit stream is truncated or corrupt.
+    pub fn decode(&self) -> Result<Vec<(i64, f64)>, &'static str> {
+        let mut out = Vec::with_capacity(self.count);
+        if self.count == 0 {
+            return Ok(out);
+        }
+        let mut r = BitReader::new(&self.bytes);
+        let mut t = r.read_bits(64)? as i64;
+        let mut v = r.read_bits(64)?;
+        out.push((t, f64::from_bits(v)));
+        let mut delta = 0i64;
+        let mut window: Option<(u8, u8)> = None;
+        for _ in 1..self.count {
+            // Timestamp.
+            let dod = if r.read_bit()? {
+                let mut dod = None;
+                for (_, _, payload) in DOD_CLASSES {
+                    // Control bits: the leading 1 is already consumed; each
+                    // narrower class consumes one more bit before its payload.
+                    if payload == 64 {
+                        dod = Some(r.read_bits(64)? as i64);
+                        break;
+                    }
+                    if !r.read_bit()? {
+                        let lo = -(1i64 << (payload - 1)) + 1;
+                        dod = Some(r.read_bits(payload)? as i64 + lo);
+                        break;
+                    }
+                }
+                dod.ok_or("bad dod control")?
+            } else {
+                0
+            };
+            delta = delta.wrapping_add(dod);
+            t = t.wrapping_add(delta);
+
+            // Value.
+            if r.read_bit()? {
+                let xor = if r.read_bit()? {
+                    let lead = r.read_bits(5)? as u8;
+                    let len = r.read_bits(6)? as u8 + 1;
+                    let bits = r.read_bits(len)?;
+                    window = Some((lead, len));
+                    bits << (64 - lead - len)
+                } else {
+                    let (lead, len) = window.ok_or("window reuse before any window")?;
+                    r.read_bits(len)? << (64 - lead - len)
+                };
+                v ^= xor;
+            }
+            out.push((t, f64::from_bits(v)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(samples: &[(i64, f64)]) -> CompressedChunk {
+        let mut enc = ChunkEncoder::new();
+        for &(t, v) in samples {
+            enc.push(t, v);
+        }
+        let chunk = enc.finish();
+        let decoded = chunk.decode().expect("decode");
+        assert_eq!(decoded.len(), samples.len());
+        for (i, (&(t, v), &(dt, dv))) in samples.iter().zip(&decoded).enumerate() {
+            assert_eq!(t, dt, "timestamp {i}");
+            assert_eq!(v.to_bits(), dv.to_bits(), "value {i} ({v} vs {dv})");
+        }
+        chunk
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(ChunkEncoder::new().finish().decode().unwrap().is_empty());
+        round_trip(&[(1_000_000, 42.5)]);
+    }
+
+    #[test]
+    fn regular_cadence_compresses_hard() {
+        // 30 s cadence, constant value: the steady state costs 2 bits per
+        // sample after the 128-bit header.
+        let samples: Vec<(i64, f64)> = (0..1000).map(|i| (i * 30_000_000, 5.0)).collect();
+        let chunk = round_trip(&samples);
+        let raw = samples.len() * 16;
+        assert!(
+            chunk.byte_len() * 50 < raw,
+            "constant series should compress > 50x: {} vs {raw}",
+            chunk.byte_len()
+        );
+    }
+
+    #[test]
+    fn slowly_varying_values() {
+        let samples: Vec<(i64, f64)> = (0..500)
+            .map(|i| (i * 60_000_000, 1.0 - i as f64 * 1e-4))
+            .collect();
+        let chunk = round_trip(&samples);
+        assert!(chunk.byte_len() < samples.len() * 16);
+    }
+
+    #[test]
+    fn adversarial_bit_patterns_round_trip() {
+        let samples = [
+            (0, 0.0),
+            (1, -0.0),
+            (2, f64::MIN_POSITIVE),
+            (3, 5e-324), // smallest denormal
+            (10, -5e-324),
+            (11, f64::MAX),
+            (12, f64::MIN),
+            (13, f64::INFINITY),
+            (14, f64::NEG_INFINITY),
+            (1_000_000_000, 1.0),
+            (-5, -1.0), // out-of-order, negative timestamp
+            (i64::MAX / 2, 0.1),
+            (i64::MIN / 2, -0.1), // giant negative jump
+        ];
+        round_trip(&samples);
+    }
+
+    #[test]
+    fn alternating_signs_round_trip() {
+        let samples: Vec<(i64, f64)> = (0..200)
+            .map(|i| {
+                let v = f64::from(i) * 0.37 + 0.001;
+                (i64::from(i) * 10_000_000, if i % 2 == 0 { v } else { -v })
+            })
+            .collect();
+        round_trip(&samples);
+    }
+
+    #[test]
+    fn dod_class_boundaries_round_trip() {
+        // Deltas engineered to hit every delta-of-delta class boundary.
+        let mut t = 0i64;
+        let mut delta = 1000i64;
+        let mut samples = Vec::new();
+        for (i, &dod) in [
+            0i64,
+            1,
+            -1,
+            63,
+            -63,
+            64,
+            65,
+            -64,
+            255,
+            -255,
+            256,
+            257,
+            -256,
+            2047,
+            -2047,
+            2048,
+            2049,
+            -2048,
+            1 << 40,
+            -(1 << 40),
+        ]
+        .iter()
+        .enumerate()
+        {
+            delta += dod;
+            t += delta;
+            samples.push((t, i as f64));
+        }
+        round_trip(&samples);
+    }
+
+    #[test]
+    fn bit_writer_reader_agree() {
+        let mut w = BitWriter::new();
+        w.push_bit(true);
+        w.push_bits(0b1011, 4);
+        w.push_bits(u64::MAX, 64);
+        w.push_bits(0, 3);
+        assert_eq!(w.len_bits(), 1 + 4 + 64 + 3);
+        let mut r = BitReader::new(w.as_bytes());
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.read_bits(4).unwrap(), 0b1011);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(3).unwrap(), 0);
+        assert!(r.read_bits(8).is_err(), "padding is under one byte");
+    }
+
+    #[test]
+    fn truncated_stream_errors_not_panics() {
+        let mut enc = ChunkEncoder::new();
+        for i in 0..10 {
+            enc.push(i * 1_000_000, f64::from(i as i32) * 1.7);
+        }
+        let mut chunk = enc.finish();
+        chunk.bytes.truncate(10);
+        assert!(chunk.decode().is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! Ingestion adapters: three ways samples get into a [`TsdbStore`].
+//!
+//! * [`ingest_events`] — replay a captured fleet trace
+//!   (`Vec<DeviceEvent>`) into device-labeled series. Deterministic:
+//!   events are stamped in simulation time, so the resulting store
+//!   contents are identical at any thread count.
+//! * [`TelemetrySink`] — a live [`EventSink`] for single-device runs;
+//!   attach it to an `Observer` and samples stream in as the simulation
+//!   steps.
+//! * [`RegistryScraper`] — polls a [`MetricsRegistry`] snapshot
+//!   ([`MetricsRegistry::samples`]) into the store. This is the
+//!   wall-clock path used by `sdb serve` for longitudinal scraping; its
+//!   timestamps are quarantined from all deterministic artifacts.
+//!
+//! All three share one event→series mapping, so a replayed trace and a
+//! live run produce the same series names.
+
+use crate::store::{quantize, secs_to_us, SeriesId, TsdbStore};
+use sdb_observe::{DeviceEvent, EventSink, MetricsRegistry, ObsEvent, SampleValue};
+
+/// Mantissa bits kept when ingesting analog telemetry (see
+/// [`quantize`]): relative error stays under `2^-21` (~5e-7), far below
+/// sensor noise, while XOR compression gains the 32 zeroed trailing
+/// bits. Integer-valued streams (counters, histogram counts) are stored
+/// exact — integers compress natively and monotonic checks must not
+/// drift.
+pub const TELEMETRY_MANTISSA_BITS: u32 = 20;
+
+/// Maps one event onto series appends. Continuous signals (step
+/// telemetry, directives, ratios) become samples; discrete events
+/// (faults, transitions) stay on the trace/flight-recorder path.
+fn ingest_one(store: &TsdbStore, device: &str, t_s: f64, event: &ObsEvent) {
+    let t_us = secs_to_us(t_s);
+    let q = |v: f64| quantize(v, TELEMETRY_MANTISSA_BITS);
+    match event {
+        ObsEvent::StepSample {
+            load_w,
+            supplied_w,
+            loss_w,
+            soc,
+            current_a,
+        } => {
+            for (name, v) in [
+                ("sdb_load_w", *load_w),
+                ("sdb_supplied_w", *supplied_w),
+                ("sdb_loss_w", *loss_w),
+            ] {
+                store.append(&SeriesId::new(name, &[("device", device)]), t_us, q(v));
+            }
+            for (b, &v) in soc.iter().enumerate() {
+                let battery = b.to_string();
+                store.append(
+                    &SeriesId::new("sdb_soc", &[("device", device), ("battery", &battery)]),
+                    t_us,
+                    q(v),
+                );
+            }
+            for (b, &v) in current_a.iter().enumerate() {
+                let battery = b.to_string();
+                store.append(
+                    &SeriesId::new(
+                        "sdb_current_a",
+                        &[("device", device), ("battery", &battery)],
+                    ),
+                    t_us,
+                    q(v),
+                );
+            }
+        }
+        ObsEvent::PolicyEvaluation {
+            charge_directive,
+            discharge_directive,
+            ..
+        } => {
+            store.append(
+                &SeriesId::new("sdb_charge_directive", &[("device", device)]),
+                t_us,
+                q(*charge_directive),
+            );
+            store.append(
+                &SeriesId::new("sdb_discharge_directive", &[("device", device)]),
+                t_us,
+                q(*discharge_directive),
+            );
+        }
+        ObsEvent::RatioPush { flow, ratios } => {
+            let flow = flow.to_string();
+            for (b, &r) in ratios.iter().enumerate() {
+                let battery = b.to_string();
+                store.append(
+                    &SeriesId::new(
+                        "sdb_ratio",
+                        &[("device", device), ("flow", &flow), ("battery", &battery)],
+                    ),
+                    t_us,
+                    q(r),
+                );
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Replays captured fleet events into `store`, labeling series by
+/// device. Returns how many events contributed samples.
+pub fn ingest_events(store: &TsdbStore, events: &[DeviceEvent]) -> usize {
+    let mut ingested = 0;
+    let mut device_label = String::new();
+    let mut device_of_label = u64::MAX;
+    for e in events {
+        if matches!(
+            e.event,
+            ObsEvent::StepSample { .. }
+                | ObsEvent::PolicyEvaluation { .. }
+                | ObsEvent::RatioPush { .. }
+        ) {
+            if e.device != device_of_label {
+                device_label = format!("d{}", e.device);
+                device_of_label = e.device;
+            }
+            ingest_one(store, &device_label, e.t_s, &e.event);
+            ingested += 1;
+        }
+    }
+    ingested
+}
+
+/// A live [`EventSink`] streaming one device's telemetry into a store.
+#[derive(Debug, Clone)]
+pub struct TelemetrySink {
+    store: TsdbStore,
+    device: String,
+}
+
+impl TelemetrySink {
+    /// A sink writing into `store` under the `device` label.
+    #[must_use]
+    pub fn new(store: TsdbStore, device: &str) -> Self {
+        Self {
+            store,
+            device: device.to_owned(),
+        }
+    }
+}
+
+impl EventSink for TelemetrySink {
+    fn record(&mut self, t_s: f64, event: &ObsEvent) {
+        ingest_one(&self.store, &self.device, t_s, event);
+    }
+}
+
+/// Polls [`MetricsRegistry`] snapshots into a store: counters and gauges
+/// become one series each, histograms become `<name>_count` and
+/// `<name>_sum`. Timestamps are supplied by the caller — `sdb serve`
+/// passes wall-clock-since-start, which keeps this path quarantined from
+/// deterministic artifacts.
+#[derive(Debug, Clone)]
+pub struct RegistryScraper {
+    store: TsdbStore,
+}
+
+impl RegistryScraper {
+    /// A scraper writing into `store`.
+    #[must_use]
+    pub fn new(store: TsdbStore) -> Self {
+        Self { store }
+    }
+
+    /// Appends one snapshot of `registry` at `t_us`. Returns how many
+    /// samples were written.
+    pub fn scrape(&self, registry: &MetricsRegistry, t_us: i64) -> usize {
+        let mut written = 0;
+        for sample in registry.samples() {
+            let labels: Vec<(&str, &str)> = sample
+                .labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            match sample.value {
+                SampleValue::Counter(v) => {
+                    self.store
+                        .append(&SeriesId::new(&sample.name, &labels), t_us, v as f64);
+                    written += 1;
+                }
+                SampleValue::Gauge(v) => {
+                    self.store
+                        .append(&SeriesId::new(&sample.name, &labels), t_us, v);
+                    written += 1;
+                }
+                SampleValue::Histogram { count, sum } => {
+                    self.store.append(
+                        &SeriesId::new(&format!("{}_count", sample.name), &labels),
+                        t_us,
+                        count as f64,
+                    );
+                    self.store.append(
+                        &SeriesId::new(&format!("{}_sum", sample.name), &labels),
+                        t_us,
+                        sum as f64,
+                    );
+                    written += 2;
+                }
+            }
+        }
+        written
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{run, Query};
+
+    fn step(load: f64) -> ObsEvent {
+        ObsEvent::StepSample {
+            load_w: load,
+            supplied_w: load * 0.98,
+            loss_w: load * 0.02,
+            soc: vec![0.9, 0.8],
+            current_a: vec![1.0, 2.0],
+        }
+    }
+
+    #[test]
+    fn ingest_events_labels_by_device() {
+        let store = TsdbStore::default();
+        let events = vec![
+            DeviceEvent {
+                device: 0,
+                seq: 0,
+                t_s: 0.0,
+                event: step(10.0),
+            },
+            DeviceEvent {
+                device: 1,
+                seq: 0,
+                t_s: 0.0,
+                event: step(20.0),
+            },
+            DeviceEvent {
+                device: 1,
+                seq: 1,
+                t_s: 30.0,
+                event: ObsEvent::PolicyEvaluation {
+                    pushed: true,
+                    charge_directive: 0.5,
+                    discharge_directive: 1.0,
+                },
+            },
+            // Discrete events contribute nothing.
+            DeviceEvent {
+                device: 1,
+                seq: 2,
+                t_s: 31.0,
+                event: ObsEvent::FaultInjection {
+                    description: "x".into(),
+                },
+            },
+        ];
+        assert_eq!(ingest_events(&store, &events), 3);
+        let r = run(&store, &Query::range_all("sdb_load_w"));
+        assert_eq!(r.series.len(), 2);
+        assert_eq!(r.series[0].labels, vec![("device".into(), "d0".into())]);
+        assert_eq!(r.series[0].points, vec![(0, 10.0)]);
+        assert_eq!(r.series[1].points, vec![(0, 20.0)]);
+        // Per-battery series get battery labels.
+        let soc = run(&store, &Query::range_all("sdb_soc"));
+        assert_eq!(soc.series.len(), 4); // 2 devices x 2 batteries
+        let dir = run(&store, &Query::range_all("sdb_charge_directive"));
+        assert_eq!(dir.series[0].points, vec![(30_000_000, 0.5)]);
+    }
+
+    #[test]
+    fn telemetry_sink_streams_live_events() {
+        let store = TsdbStore::default();
+        let mut sink = TelemetrySink::new(store.clone(), "dev");
+        for i in 0..10 {
+            sink.record(f64::from(i) * 30.0, &step(15.0));
+        }
+        let r = run(&store, &Query::range_all("sdb_supplied_w"));
+        assert_eq!(r.series.len(), 1);
+        assert_eq!(r.series[0].labels, vec![("device".into(), "dev".into())]);
+        assert_eq!(r.series[0].points.len(), 10);
+        assert_eq!(r.series[0].points[3].0, 90_000_000);
+    }
+
+    #[test]
+    fn registry_scraper_snapshots_every_metric_kind() {
+        let store = TsdbStore::default();
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("sdb_pushes_total", &[("flow", "charge")]);
+        let g = reg.gauge("sdb_soc_min", &[]);
+        let h = reg.histogram("sdb_step_us", &[]);
+        let scraper = RegistryScraper::new(store.clone());
+
+        c.inc();
+        g.set(0.25);
+        h.record(100);
+        assert_eq!(scraper.scrape(&reg, 1_000_000), 4);
+        c.inc();
+        assert_eq!(scraper.scrape(&reg, 2_000_000), 4);
+
+        let r = run(&store, &Query::range_all("sdb_pushes_total"));
+        assert_eq!(r.series[0].labels, vec![("flow".into(), "charge".into())]);
+        assert_eq!(r.series[0].points, vec![(1_000_000, 1.0), (2_000_000, 2.0)]);
+        let hist = run(&store, &Query::range_all("sdb_step_us_count"));
+        assert_eq!(hist.series[0].points.len(), 2);
+    }
+}

@@ -11,8 +11,14 @@
 //!            [--events-out <jsonl>] [--trace-out <jsonl>]   (trace-out also writes a Perfetto-loadable .chrome.json)
 //! sdb analyze --trace <jsonl> [--json]       replay a recorded trace through the health rules
 //! sdb analyze --devices 200 --seed 42 [--hours H] [--threads N] [--json]   run a fleet inline and analyze it
-//! sdb chaos  --devices 200 --seed 42 [--intensity 0.7] [--hours H] [--load W] [--threads N] [--json] [--out <path>]
+//! sdb chaos  --devices 200 --seed 42 [--intensity 0.7] [--hours H] [--load W] [--threads N] [--json] [--out <path>] [--metrics-out <path>]
 //!            run a fault-injection campaign; exits non-zero on any invariant violation
+//! sdb serve  [--addr 127.0.0.1:0] [--telemetry] [--devices N] [--seed N] [--hours H] [--threads N] [--scrape-ms 250]
+//!            HTTP surface: /metrics (Prometheus), /query (JSON), /healthz, /shutdown;
+//!            --telemetry runs a fleet in the background with live counters + stored series
+//! sdb perf   [--history PERF_HISTORY.jsonl] [--micro BENCH_micro.json] [--fleet BENCH_fleet.json]
+//!            [--baseline last|best] [--threshold 0.10] [--record] [--label <text>] [--inject <factor>]
+//!            compare bench results against recorded history; exits non-zero on regression
 //! ```
 
 use sdb::battery_model::{library, BatterySpec, Chemistry};
@@ -21,8 +27,9 @@ use sdb::core::runtime::SdbRuntime;
 use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
 use sdb::emulator::{acpi, Microcontroller, PackBuilder, ProfileKind};
 use sdb::fleet;
-use sdb::observe::{Observer, TraceCollector};
+use sdb::observe::{MetricsRegistry, Observer, TraceCollector};
 use sdb::trace as sdbtrace;
+use sdb::tsdb;
 use sdb::workloads::traces::{phone_day, tablet_session, watch_day, Trace};
 use sdb::workloads::Activity;
 use std::collections::HashMap;
@@ -174,9 +181,26 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>]"
+        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]"
     );
     ExitCode::FAILURE
+}
+
+/// Writes a metrics registry to `path`: `.json` gets the JSON export,
+/// anything else the Prometheus text format. The `--metrics-out`
+/// behavior shared by `sdb fleet`, `sdb analyze`, and `sdb chaos`.
+fn write_metrics(registry: &MetricsRegistry, path: &str) -> Result<(), ()> {
+    let text = if path.ends_with(".json") {
+        registry.to_json()
+    } else {
+        registry.to_prometheus_text()
+    };
+    if let Err(e) = std::fs::write(path, text) {
+        eprintln!("failed to write metrics to {path}: {e}");
+        return Err(());
+    }
+    eprintln!("wrote metrics to {path}");
+    Ok(())
 }
 
 /// Derives the Chrome-export path from a JSONL trace path:
@@ -457,16 +481,9 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
     }
 
     if let Some(path) = flags.get("metrics-out") {
-        let text = if path.ends_with(".json") {
-            stats.registry.to_json()
-        } else {
-            stats.registry.to_prometheus_text()
-        };
-        if let Err(e) = std::fs::write(path, text) {
-            eprintln!("failed to write metrics to {path}: {e}");
+        if write_metrics(&stats.registry, path).is_err() {
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote metrics to {path}");
     }
 
     let body = if flags.contains_key("json") {
@@ -522,6 +539,29 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // --metrics-out parity with fleet: replay mode has no live
+        // registry, so synthesize per-kind event counters from the trace.
+        if let Some(out) = flags.get("metrics-out") {
+            let events = match sdbtrace::from_jsonl(&text) {
+                Ok(ev) => ev,
+                Err(e) => {
+                    eprintln!("cannot parse trace `{path}`: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let registry = MetricsRegistry::new();
+            for e in &events {
+                registry
+                    .counter(
+                        "sdb_trace_events_total",
+                        &[("kind", sdbtrace::event_kind(&e.event))],
+                    )
+                    .inc();
+            }
+            if write_metrics(&registry, out).is_err() {
+                return ExitCode::FAILURE;
+            }
+        }
         let body = if json {
             let mut s = analysis.to_json();
             s.push('\n');
@@ -560,6 +600,11 @@ fn cmd_analyze(flags: &HashMap<String, String>) -> ExitCode {
     let events = events.expect("capture was requested");
     let analysis = sdbtrace::analyze(&events, sdbtrace::default_rules());
     let deltas = stats.sketches.deltas(&report);
+    if let Some(path) = flags.get("metrics-out") {
+        if write_metrics(&stats.registry, path).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
 
     let body = if json {
         format!(
@@ -600,13 +645,25 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
         .get("threads")
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get));
-    let report = match sdb::chaos::run_campaign(&spec, threads) {
+    // --metrics-out parity with fleet: run observed so every device's
+    // counters land in one scrapeable registry.
+    let metrics_registry = flags.get("metrics-out").map(|_| MetricsRegistry::new());
+    let campaign = match &metrics_registry {
+        Some(reg) => sdb::chaos::run_campaign_observed(&spec, threads, reg),
+        None => sdb::chaos::run_campaign(&spec, threads),
+    };
+    let report = match campaign {
         Ok(r) => r,
         Err(e) => {
             eprintln!("chaos campaign failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let (Some(reg), Some(path)) = (&metrics_registry, flags.get("metrics-out")) {
+        if write_metrics(reg, path).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
     let body = if flags.contains_key("json") {
         format!("{}\n", report.to_json())
     } else {
@@ -625,6 +682,201 @@ fn cmd_chaos(flags: &HashMap<String, String>) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Serves `/metrics`, `/query`, `/healthz`, and `/shutdown` over the
+/// zero-dependency HTTP listener. With `--telemetry`, a fleet simulation
+/// runs in the background against the *live* registry (its counters are
+/// scrapeable mid-run) and its captured event stream is ingested into
+/// the compressed telemetry store for `/query` when it completes; a
+/// background scraper also records registry snapshots longitudinally.
+/// Blocks until `/shutdown` is hit.
+fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let scrape_ms: u64 = flags
+        .get("scrape-ms")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(250);
+    let registry = MetricsRegistry::new();
+    let store = tsdb::TsdbStore::default();
+    let opts = tsdb::ServeOptions {
+        addr,
+        scrape_every: Some(std::time::Duration::from_millis(scrape_ms.max(10))),
+    };
+    let handle = match tsdb::serve(&opts, registry.clone(), store.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    emit(&format!("listening on http://{}\n", handle.addr()));
+
+    let fleet_thread = flags.contains_key("telemetry").then(|| {
+        let devices: usize = flags
+            .get("devices")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(200);
+        let threads: usize = flags
+            .get("threads")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+        let hours: f64 = flags
+            .get("hours")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        let registry = registry.clone();
+        let store = store.clone();
+        std::thread::spawn(move || {
+            let spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
+            match fleet::run_fleet_live(&spec, threads, true, &registry) {
+                Ok((_, _, events)) => {
+                    let events = events.expect("capture was requested");
+                    let n = tsdb::ingest_events(&store, &events);
+                    let st = store.stats();
+                    eprintln!(
+                        "fleet complete: {n} events ingested, {} series, {:.1}x compression",
+                        st.series,
+                        st.compression_ratio()
+                    );
+                }
+                Err(e) => eprintln!("telemetry fleet run failed: {e}"),
+            }
+        })
+    });
+
+    handle.wait();
+    if let Some(t) = fleet_thread {
+        let _ = t.join();
+    }
+    eprintln!("listener stopped");
+    ExitCode::SUCCESS
+}
+
+/// Compares fresh bench results against the recorded history and exits
+/// non-zero if any metric's cost grew past the threshold. `--record`
+/// appends the current run to the history file (the committed
+/// longitudinal record); `--inject` multiplies every cost metric before
+/// comparing — the self-test hook CI uses to prove the gate trips.
+fn cmd_perf(flags: &HashMap<String, String>) -> ExitCode {
+    use sdb::tsdb::perf;
+    let history_path = flags
+        .get("history")
+        .map(String::as_str)
+        .unwrap_or("PERF_HISTORY.jsonl");
+    let mut metrics: Vec<perf::PerfMetric> = Vec::new();
+    for (flag, default) in [("micro", "BENCH_micro.json"), ("fleet", "BENCH_fleet.json")] {
+        let path = flags.get(flag).map(String::as_str).unwrap_or(default);
+        match std::fs::read_to_string(path) {
+            Ok(text) => match perf::ingest(&text) {
+                Ok(m) => metrics.extend(m),
+                Err(e) => {
+                    eprintln!("cannot parse bench file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) if !flags.contains_key(flag) => {
+                eprintln!("note: {path} not found, skipping");
+            }
+            Err(e) => {
+                eprintln!("cannot read bench file {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if metrics.is_empty() {
+        eprintln!("no bench results found (run the sdb-bench benches first)");
+        return ExitCode::FAILURE;
+    }
+    if let Some(factor) = flags.get("inject").and_then(|s| s.parse::<f64>().ok()) {
+        for m in &mut metrics {
+            match m.direction {
+                perf::Direction::LowerIsBetter => m.value *= factor,
+                perf::Direction::HigherIsBetter => m.value /= factor,
+            }
+        }
+        eprintln!("injected a synthetic {factor}x cost multiplier for self-test");
+    }
+
+    let history_text = std::fs::read_to_string(history_path).unwrap_or_default();
+    let history = match perf::parse_history(&history_text) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot parse {history_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match flags.get("baseline").map(String::as_str) {
+        Some("best") => perf::Baseline::Best,
+        _ => perf::Baseline::Last,
+    };
+    let threshold: f64 = flags
+        .get("threshold")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.10);
+    let regressions = perf::check(&history, &metrics, baseline, threshold);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "perf gate: {} metrics vs {} history entries (threshold {:.0}%)",
+        metrics.len(),
+        history.len(),
+        threshold * 100.0
+    );
+    for r in &regressions {
+        let _ = writeln!(
+            out,
+            "  REGRESSION {:<32} baseline {:>12.2}  current {:>12.2}  ({:+.1}% cost)",
+            r.key,
+            r.baseline,
+            r.current,
+            r.worse_by * 100.0
+        );
+    }
+    if regressions.is_empty() {
+        let _ = writeln!(out, "  ok: no metric regressed past the threshold");
+    }
+    emit(&out);
+
+    if flags.contains_key("record") {
+        // Wall-clock stamp, quarantined: labels the history line for
+        // humans, never enters a comparison.
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        let entry = perf::HistoryEntry {
+            recorded_at_unix_s: stamp,
+            label: flags
+                .get("label")
+                .cloned()
+                .unwrap_or_else(|| "local".to_owned()),
+            metrics: metrics.clone(),
+        };
+        let mut text = history_text;
+        if !text.is_empty() && !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&entry.to_jsonl());
+        text.push('\n');
+        if let Err(e) = std::fs::write(history_path, text) {
+            eprintln!("failed to write {history_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("recorded entry {} in {history_path}", history.len() + 1);
+    }
+
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn main() -> ExitCode {
@@ -653,6 +905,8 @@ fn main() -> ExitCode {
         Some("fleet") => cmd_fleet(&flags),
         Some("analyze") => cmd_analyze(&flags),
         Some("chaos") => cmd_chaos(&flags),
+        Some("serve") => cmd_serve(&flags),
+        Some("perf") => cmd_perf(&flags),
         _ => usage(),
     }
 }

@@ -28,6 +28,10 @@
 //! * [`trace`] — causal trace capture and analysis: JSONL and Chrome
 //!   `trace_event` (Perfetto) export of the event stream, trace replay,
 //!   and a declarative anomaly/health-rule engine behind `sdb analyze`.
+//! * [`tsdb`] — the embedded time-series telemetry store: Gorilla
+//!   compression, ring retention with tiered downsampling, typed
+//!   queries, the `sdb serve` HTTP surface, and the `sdb perf`
+//!   longitudinal regression gate.
 //!
 //! ## Quickstart
 //!
@@ -72,4 +76,5 @@ pub use sdb_fuel_gauge as fuel_gauge;
 pub use sdb_observe as observe;
 pub use sdb_power_electronics as power_electronics;
 pub use sdb_trace as trace;
+pub use sdb_tsdb as tsdb;
 pub use sdb_workloads as workloads;

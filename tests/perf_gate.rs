@@ -1,0 +1,135 @@
+//! CLI tests of `sdb perf`, the longitudinal perf-regression gate: the
+//! acceptance criterion is that an injected 10 %+ cost regression makes
+//! the command exit non-zero against the recorded history.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const MICRO: &str = r#"{"bench":"micro_step","steps_per_call":100,"packs":[{"batteries":2,"ns_per_step":240.0,"steps_per_sec":4166666.0,"allocs_per_step":0.0},{"batteries":8,"ns_per_step":600.0,"steps_per_sec":1666666.0,"allocs_per_step":0.0}],"allocs_per_step_max":0.0,"host_cpus":4}"#;
+
+const FLEET: &str = r#"{"bench":"fleet_scaling","devices":512,"trace_hours":2.0,"master_seed":1,"bit_identical_reports":true,"threads":[{"threads":1,"wall_s":0.07,"devices_per_sec":7300.0},{"threads":4,"wall_s":0.02,"devices_per_sec":25000.0}],"speedup_max_threads_vs_1":3.4,"host_cpus":4}"#;
+
+/// A scratch directory unique to this test binary run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sdb-perf-gate-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn sdb(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sdb"))
+        .current_dir(dir)
+        .args(args)
+        .output()
+        .expect("run sdb")
+}
+
+fn write_benches(dir: &Path) {
+    std::fs::write(dir.join("BENCH_micro.json"), MICRO).expect("write micro");
+    std::fs::write(dir.join("BENCH_fleet.json"), FLEET).expect("write fleet");
+}
+
+#[test]
+fn perf_gate_records_then_passes_then_trips_on_injected_regression() {
+    let dir = scratch("roundtrip");
+    write_benches(&dir);
+
+    // No history yet: nothing to compare against, the gate passes and
+    // --record seeds the history file.
+    let out = sdb(&dir, &["perf", "--record", "--label", "seed"]);
+    assert!(
+        out.status.success(),
+        "first record failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let history = std::fs::read_to_string(dir.join("PERF_HISTORY.jsonl")).expect("history");
+    assert_eq!(history.lines().count(), 1);
+    assert!(history.contains(r#""label":"seed""#), "history: {history}");
+    assert!(history.contains("micro_step.b2.ns_per_step"));
+    assert!(history.contains("fleet.t4.devices_per_sec"));
+
+    // Same results vs the recorded baseline: clean pass.
+    let out = sdb(&dir, &["perf"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("ok: no metric regressed"),
+        "stdout: {stdout}"
+    );
+
+    // The acceptance criterion: a synthetic 1.2x cost multiplier (a 20 %
+    // regression, past the 10 % threshold) must trip the gate.
+    let out = sdb(&dir, &["perf", "--inject", "1.2"]);
+    assert!(
+        !out.status.success(),
+        "gate passed an injected 20% regression"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "stdout: {stdout}");
+    // Both lower-is-better and higher-is-better metrics regressed.
+    assert!(stdout.contains("micro_step.b2.ns_per_step"), "{stdout}");
+    assert!(stdout.contains("fleet.t1.devices_per_sec"), "{stdout}");
+
+    // A multiplier inside the threshold stays green.
+    let out = sdb(&dir, &["perf", "--inject", "1.05"]);
+    assert!(out.status.success(), "5% noise must not trip a 10% gate");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_gate_best_baseline_catches_slow_drift() {
+    let dir = scratch("drift");
+    write_benches(&dir);
+    // Record a fast entry, then an 8% slower one (within threshold of
+    // the first). Against Baseline::Last another 8% would pass; against
+    // Baseline::Best the compounded drift trips.
+    assert!(sdb(&dir, &["perf", "--record"]).status.success());
+    let out = sdb(&dir, &["perf", "--inject", "1.08", "--record"]);
+    assert!(out.status.success(), "8% vs last entry passes");
+    let out = sdb(&dir, &["perf", "--inject", "1.16", "--baseline", "best"]);
+    assert!(
+        !out.status.success(),
+        "compounded 16% drift must trip the best-baseline gate"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_gate_fails_cleanly_without_bench_results() {
+    let dir = scratch("empty");
+    let out = sdb(&dir, &["perf"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no bench results"),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // An explicitly named but missing bench file is an error, not a skip.
+    let out = sdb(&dir, &["perf", "--micro", "nope.json"]);
+    assert!(!out.status.success());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perf_gate_reads_the_committed_repo_history_format() {
+    // The committed PERF_HISTORY.jsonl (repo root) must stay parseable:
+    // run the gate against it with the committed bench artifacts.
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let history = std::fs::read_to_string(repo_root.join("PERF_HISTORY.jsonl"))
+        .expect("committed PERF_HISTORY.jsonl");
+    assert!(
+        history
+            .lines()
+            .any(|l| !l.is_empty() && !l.starts_with('#')),
+        "committed history has no entries"
+    );
+    let out = sdb(&repo_root, &["perf"]);
+    // Green or red depends on the host's bench numbers relative to the
+    // committed history; what this asserts is that parsing never fails.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !stderr.contains("cannot parse"),
+        "committed artifacts failed to parse: {stderr}"
+    );
+}
