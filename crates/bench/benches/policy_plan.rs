@@ -1,0 +1,100 @@
+#![allow(missing_docs)]
+//! ns/plan for the lookahead planner.
+//!
+//! Measures one full `Planner::plan` epoch — forecast materialization
+//! plus a rollout per candidate directive over the configured horizon —
+//! and merges a `"policy_plan":{"ns_per_plan":…}` entry into
+//! `BENCH_micro.json` (idempotently: a prior entry is replaced). The
+//! `sdb perf` gate ingests it as `micro_step.policy_plan.ns_per_plan`,
+//! lower-is-better, so planning-cost regressions trip the same
+//! longitudinal check as the hot loop.
+
+use sdb_battery_model::chemistry::Chemistry;
+use sdb_battery_model::spec::BatterySpec;
+use sdb_bench::harness::{format_ns, Harness};
+use sdb_core::policy::PolicyInput;
+use sdb_core::LookaheadPolicy;
+use sdb_emulator::micro::Microcontroller;
+use sdb_emulator::pack::PackBuilder;
+use sdb_emulator::profile::ProfileKind;
+use sdb_policy::{HistoryForecaster, Planner, PlannerConfig};
+use sdb_workloads::Trace;
+use std::hint::black_box;
+
+fn hybrid_pack() -> Microcontroller {
+    PackBuilder::new()
+        .battery_at(
+            BatterySpec::from_chemistry("energy", Chemistry::Type2CoStandard, 2.0),
+            0.9,
+            ProfileKind::Standard,
+        )
+        .battery_at(
+            BatterySpec::from_chemistry("power", Chemistry::Type3CoPower, 1.0),
+            0.9,
+            ProfileKind::Fast,
+        )
+        .build()
+}
+
+/// A synthetic "previous day": light idle punctuated by heavy bursts, so
+/// the forecaster has real structure and rollouts see varying load.
+fn history_day() -> Trace {
+    let mut t = Trace::new();
+    for hour in 0..24 {
+        let heavy = hour % 6 == 3;
+        t.push(if heavy { 2.5 } else { 0.15 }, 0.0, 3600.0);
+    }
+    t
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    let micro = hybrid_pack();
+    let forecaster = HistoryForecaster::from_history([&history_day()], 0.3);
+    let cfg = PlannerConfig {
+        horizon_s: 4.0 * 3600.0,
+        ..PlannerConfig::default()
+    };
+    let input = PolicyInput {
+        batteries: Vec::new(),
+        load_w: 0.0,
+        external_w: 0.0,
+    };
+
+    h.bench_batched(
+        "policy_plan",
+        || Planner::new(cfg, Box::new(forecaster.clone())),
+        |mut planner| {
+            black_box(planner.plan(0.0, &micro, &input));
+            planner
+        },
+    );
+    let ns_per_plan = h.results().last().expect("bench recorded").min_ns;
+    println!("  plan epoch: {} per plan", format_ns(ns_per_plan));
+    h.finish();
+
+    let path = std::env::var("SDB_BENCH_MICRO_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_micro.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::read_to_string(&path) {
+        Ok(mut text) => {
+            // Idempotent merge: drop any prior policy_plan object, then
+            // splice the fresh one in just before the host_cpus tail.
+            if let Some(start) = text.find(",\"policy_plan\":{") {
+                if let Some(end) = text[start..].find('}') {
+                    text.replace_range(start..=start + end, "");
+                }
+            }
+            let entry = format!(",\"policy_plan\":{{\"ns_per_plan\":{ns_per_plan:?}}}");
+            if let Some(at) = text.find(",\"host_cpus\"") {
+                text.insert_str(at, &entry);
+                match std::fs::write(&path, &text) {
+                    Ok(()) => println!("merged policy_plan into {path}"),
+                    Err(e) => eprintln!("failed to write {path}: {e}"),
+                }
+            } else {
+                eprintln!("no host_cpus marker in {path}; run the micro_step bench first");
+            }
+        }
+        Err(e) => eprintln!("cannot read {path} ({e}); run the micro_step bench first"),
+    }
+}

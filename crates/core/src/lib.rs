@@ -33,6 +33,10 @@
 //! * [`optimal`] — offline-optimal discharge planning by dynamic
 //!   programming: the quantitative version of the paper's "knowledge of
 //!   the future workload" observation.
+//! * [`lookahead`] — the planner seam: the [`lookahead::LookaheadPolicy`]
+//!   trait and [`lookahead::PlanUpdate`] let forecast-driven planners
+//!   (the `sdb-policy` crate) steer the runtime through the same
+//!   directive vocabulary the greedy policies use.
 //! * [`events`] — the OS-event vocabulary (plug/unplug, performance
 //!   sessions, predicted episodes) and its mapping onto directive
 //!   parameters (Figure 5's "Other OS Components" arrows).
@@ -72,6 +76,7 @@ pub mod autopilot;
 pub mod error;
 pub mod events;
 pub mod hints;
+pub mod lookahead;
 pub mod metrics;
 pub mod optimal;
 pub mod policy;
@@ -85,11 +90,14 @@ pub use api::SdbApi;
 pub use autopilot::{Autopilot, AutopilotConfig};
 pub use error::SdbError;
 pub use events::{apply_event, OsEvent};
+pub use lookahead::{LookaheadPolicy, PlanUpdate};
 pub use metrics::{ccb, rbl_wh, wear_ratios};
 pub use policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
 pub use predict::UsagePredictor;
 pub use runtime::{ResilienceConfig, SdbRuntime};
-pub use scheduler::{run_trace, run_trace_linked, LinkedSimOptions, SimOptions, SimResult};
+pub use scheduler::{
+    run_trace, run_trace_linked, run_trace_planned, LinkedSimOptions, SimOptions, SimResult,
+};
 
 /// Compile-time guarantee that the whole simulation stack can be moved
 /// across threads. The sdb-fleet engine runs one `(Microcontroller,

@@ -231,6 +231,41 @@ impl SdbRuntime {
         self.pushes
     }
 
+    /// Forces the next [`SdbRuntime::tick`] to re-evaluate policies and
+    /// push fresh ratios regardless of the update-period rate limit (the
+    /// same reset the watchdog performs on link recovery). Lookahead
+    /// planners call this through [`SdbRuntime::commit_plan`] so a new
+    /// plan takes effect immediately instead of waiting out the period.
+    pub fn force_policy_refresh(&mut self) {
+        self.since_update_s = f64::INFINITY;
+        self.last_discharge.clear();
+        self.last_charge.clear();
+    }
+
+    /// Applies a plan committed by a [`crate::lookahead::LookaheadPolicy`]:
+    /// installs the plan's directives, forces an immediate policy refresh,
+    /// publishes the forecast error as the `sdb_policy_forecast_mae`
+    /// gauge (plus a `sdb_policy_replans_total` counter), and emits a
+    /// [`ObsEvent::PlanCommit`] so traces and health rules see the
+    /// re-plan.
+    pub fn commit_plan(&mut self, plan: &crate::lookahead::PlanUpdate) {
+        self.set_discharge_directive(plan.discharge);
+        if let Some(c) = plan.charge {
+            self.set_charge_directive(c);
+        }
+        self.force_policy_refresh();
+        if let Some(reg) = self.observer.registry() {
+            reg.gauge("sdb_policy_forecast_mae", &[])
+                .set(plan.forecast_mae_w);
+            reg.counter("sdb_policy_replans_total", &[]).inc();
+        }
+        self.observer.emit(ObsEvent::PlanCommit {
+            discharge_directive: plan.discharge.value(),
+            horizon_s: plan.horizon_s,
+            forecast_mae_w: plan.forecast_mae_w,
+        });
+    }
+
     /// Turns on the graceful-degradation layer: command retry with
     /// exponential backoff ([`SdbRuntime::supervise`]), a watchdog that
     /// falls back to safe uniform ratios when the link goes dark, and
@@ -295,9 +330,7 @@ impl SdbRuntime {
             });
             // The fallback ratios are on the wire; force the next tick to
             // re-evaluate policies and push fresh ratios immediately.
-            self.since_update_s = f64::INFINITY;
-            self.last_discharge.clear();
-            self.last_charge.clear();
+            self.force_policy_refresh();
         }
     }
 

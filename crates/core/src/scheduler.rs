@@ -5,6 +5,7 @@
 //! Runtime adjusts ratios, and the driver books energy, losses, and
 //! depletion times for the Section 5 analyses.
 
+use crate::lookahead::LookaheadPolicy;
 use crate::policy::PolicyInput;
 use crate::runtime::SdbRuntime;
 use sdb_emulator::link::{Command, Link};
@@ -90,6 +91,40 @@ pub fn run_trace_observed<F>(
     runtime: &mut SdbRuntime,
     trace: &Trace,
     opts: &SimOptions,
+    observer: F,
+) -> SimResult
+where
+    F: FnMut(f64, &sdb_emulator::micro::StepReport),
+{
+    run_trace_inner(micro, runtime, trace, opts, None, observer)
+}
+
+/// As [`run_trace`], with a [`LookaheadPolicy`] in the loop: before every
+/// trace point the policy may commit a [`crate::lookahead::PlanUpdate`]
+/// (applied via [`SdbRuntime::commit_plan`], which forces the runtime to
+/// re-evaluate immediately), and after every step the realized load is
+/// fed back through [`LookaheadPolicy::observe_step`]. With a policy that
+/// never plans this is byte-identical to [`run_trace`].
+#[must_use]
+pub fn run_trace_planned(
+    micro: &mut Microcontroller,
+    runtime: &mut SdbRuntime,
+    trace: &Trace,
+    opts: &SimOptions,
+    policy: &mut dyn LookaheadPolicy,
+) -> SimResult {
+    run_trace_inner(micro, runtime, trace, opts, Some(policy), |_, _| {})
+}
+
+/// Shared driver body: the greedy path (`policy == None`) executes exactly
+/// the instruction sequence the pre-planner driver did, preserving
+/// bit-identical results for every existing caller.
+fn run_trace_inner<F>(
+    micro: &mut Microcontroller,
+    runtime: &mut SdbRuntime,
+    trace: &Trace,
+    opts: &SimOptions,
+    mut policy: Option<&mut dyn LookaheadPolicy>,
     mut observer: F,
 ) -> SimResult
 where
@@ -114,11 +149,19 @@ where
         let input = PolicyInput::from_micro(micro)
             .with_load(p.load_w)
             .with_external(p.external_w);
+        if let Some(policy) = policy.as_deref_mut() {
+            if let Some(plan) = policy.plan(elapsed, micro, &input) {
+                runtime.commit_plan(&plan);
+            }
+        }
         // Runtime failures (hardware rejection) are fatal in simulation.
         runtime
             .tick(micro, &input, p.dur_s)
             .expect("runtime push rejected by emulated hardware");
         let report = micro.step(p.load_w, p.external_w, p.dur_s);
+        if let Some(policy) = policy.as_deref_mut() {
+            policy.observe_step(elapsed + p.dur_s, p.dur_s, p.load_w);
+        }
 
         // Apportion the step's energy across hour buckets it straddles.
         let loss_w = report.circuit_loss_w + report.cell_heat_w;

@@ -16,12 +16,23 @@ use crate::spec::{FleetSpec, PolicySpec};
 use sdb_core::metrics::{ccb, wear_ratios};
 use sdb_core::policy::{DischargeDirective, PreservePolicy};
 use sdb_core::runtime::SdbRuntime;
-use sdb_core::scheduler::run_trace;
+use sdb_core::scheduler::{run_trace, run_trace_planned};
 use sdb_emulator::micro::Microcontroller;
 use sdb_emulator::pack::PackBuilder;
 use sdb_observe::{DeviceEvent, MetricsRegistry, Observer, SpanName, TraceCollector};
+use sdb_policy::{HistoryForecaster, Planner, PlannerConfig};
+use sdb_workloads::traces::Trace;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+/// Seed offset separating a planned cohort's forecast warm-up days from
+/// the evaluated trace, so planners train on the device's *habit*, never
+/// on the day being judged.
+const PLANNER_HISTORY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// How many previous days a planned cohort's forecaster folds in.
+const PLANNER_HISTORY_DAYS: u64 = 7;
 
 /// The per-device result the merge aggregates. Everything here is a pure
 /// function of `(spec, device)`.
@@ -91,21 +102,58 @@ fn run_device(spec: &FleetSpec, device: u64, obs: &Observer) -> DeviceOutcome {
     let mut runtime = SdbRuntime::new(micro.battery_count());
     runtime.set_observer(obs.clone());
     runtime.set_update_period(cohort.update_period_s);
-    match cohort.policy {
-        PolicySpec::Blend(v) => runtime.set_discharge_directive(DischargeDirective::new(v)),
+    // The trace is materialized before the policy because the planner
+    // modes need it (the oracle plans over it, and both planners only
+    // make sense relative to a concrete workload).
+    let trace = cohort.workload.build(seed);
+    let result = match cohort.policy {
+        PolicySpec::Blend(v) => {
+            runtime.set_discharge_directive(DischargeDirective::new(v));
+            run_trace(&mut micro, &mut runtime, &trace, &spec.sim)
+        }
         PolicySpec::Preserve {
             efficient,
             inefficient,
             threshold_w,
-        } => runtime.set_preserve(Some(PreservePolicy::new(
-            efficient,
-            inefficient,
-            threshold_w,
-        ))),
-    }
-
-    let trace = cohort.workload.build(seed);
-    let result = run_trace(&mut micro, &mut runtime, &trace, &spec.sim);
+        } => {
+            runtime.set_preserve(Some(PreservePolicy::new(
+                efficient,
+                inefficient,
+                threshold_w,
+            )));
+            run_trace(&mut micro, &mut runtime, &trace, &spec.sim)
+        }
+        PolicySpec::Planned {
+            horizon_s,
+            replan_s,
+        } => {
+            let history: Vec<Arc<Trace>> = (1..=PLANNER_HISTORY_DAYS)
+                .map(|k| {
+                    cohort
+                        .workload
+                        .build(seed.wrapping_add(k.wrapping_mul(PLANNER_HISTORY_SALT)))
+                })
+                .collect();
+            let forecaster = HistoryForecaster::from_history(history.iter().map(Arc::as_ref), 0.3);
+            let cfg = PlannerConfig {
+                horizon_s,
+                replan_period_s: replan_s,
+                update_period_s: cohort.update_period_s,
+                ..PlannerConfig::default()
+            };
+            let mut planner = Planner::new(cfg, Box::new(forecaster));
+            run_trace_planned(&mut micro, &mut runtime, &trace, &spec.sim, &mut planner)
+        }
+        PolicySpec::Oracle => {
+            let cfg = PlannerConfig {
+                candidates: 17,
+                update_period_s: cohort.update_period_s,
+                ..PlannerConfig::default()
+            };
+            let mut planner = Planner::oracle(cfg, Arc::clone(&trace));
+            run_trace_planned(&mut micro, &mut runtime, &trace, &spec.sim, &mut planner)
+        }
+    };
 
     let statuses = micro.query_battery_status();
     let cycle_counts: Vec<u32> = statuses.iter().map(|s| s.cycle_count).collect();
@@ -364,6 +412,34 @@ mod tests {
         let (r3, _) = run_fleet(&spec, 3).unwrap();
         assert_eq!(r1, r3);
         assert_eq!(r1.to_json(), r3.to_json());
+    }
+
+    #[test]
+    fn planner_policies_are_thread_invariant() {
+        // Planner cohorts do rollout work inside run_device; the report
+        // (and the captured event stream, which now carries plan_commit
+        // events) must still be bit-identical for any worker count.
+        for policy in [
+            PolicySpec::Planned {
+                horizon_s: 1800.0,
+                replan_s: 600.0,
+            },
+            PolicySpec::Oracle,
+        ] {
+            let spec = tiny_spec(8).with_policy(policy);
+            let (r1, _, e1) = run_fleet_captured(&spec, 1, true).unwrap();
+            let (r4, _, e4) = run_fleet_captured(&spec, 4, true).unwrap();
+            assert_eq!(r1, r4);
+            assert_eq!(r1.to_json(), r4.to_json());
+            assert_eq!(e1, e4);
+            let events = e1.unwrap();
+            assert!(
+                events
+                    .iter()
+                    .any(|e| matches!(e.event, sdb_observe::ObsEvent::PlanCommit { .. })),
+                "planner cohorts must emit plan_commit events"
+            );
+        }
     }
 
     #[test]

@@ -195,6 +195,18 @@ pub enum PolicySpec {
         /// Load threshold (watts) above which the efficient cell engages.
         threshold_w: f64,
     },
+    /// The `sdb-policy` receding-horizon planner: a history forecaster
+    /// warm-started from previous days of the cohort's own workload
+    /// family steers the directive through rollout planning.
+    Planned {
+        /// Lookahead horizon, seconds.
+        horizon_s: f64,
+        /// Re-plan cadence, seconds.
+        replan_s: f64,
+    },
+    /// The perfect-forecast oracle planner over each device's own trace —
+    /// the upper bound on what any forecast-driven policy could achieve.
+    Oracle,
 }
 
 /// One weighted cohort of the fleet.
@@ -274,6 +286,17 @@ impl FleetSpec {
             ],
             sim: SimOptions::default(),
         }
+    }
+
+    /// Replaces every cohort's policy with `policy` — how `sdb fleet
+    /// --policy planned|oracle` pits the lookahead planners against the
+    /// default population's greedy mix on identical packs and workloads.
+    #[must_use]
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        for cohort in &mut self.cohorts {
+            cohort.policy = policy;
+        }
+        self
     }
 
     /// Clips every cohort's workload to the first `hours` hours (each

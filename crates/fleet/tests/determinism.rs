@@ -56,7 +56,7 @@ fn fleet_of_one_matches_a_direct_run_trace() {
     spec.cohorts.truncate(1);
     let cohort_policy = match spec.cohorts[0].policy {
         PolicySpec::Blend(v) => v,
-        PolicySpec::Preserve { .. } => unreachable!("cohort 0 is the blend phone cohort"),
+        _ => unreachable!("cohort 0 is the blend phone cohort"),
     };
     let (report, _) = run_fleet(&spec, 2).unwrap();
 

@@ -135,6 +135,15 @@ pub enum ObsEvent {
         /// Why the gauge was flagged (e.g. `"stuck-soc"`).
         reason: &'static str,
     },
+    /// A lookahead planner committed a new plan (re-plan) to the runtime.
+    PlanCommit {
+        /// The discharge directive the plan selected.
+        discharge_directive: f64,
+        /// Lookahead horizon the plan covers, seconds.
+        horizon_s: f64,
+        /// Forecast mean absolute error at plan time, watts.
+        forecast_mae_w: f64,
+    },
 }
 
 impl fmt::Display for ObsEvent {
@@ -209,6 +218,14 @@ impl fmt::Display for ObsEvent {
                 f,
                 "gauge-degraded battery={battery} {} ({reason})",
                 if *degraded { "flagged" } else { "cleared" }
+            ),
+            ObsEvent::PlanCommit {
+                discharge_directive,
+                horizon_s,
+                forecast_mae_w,
+            } => write!(
+                f,
+                "plan-commit discharge={discharge_directive:.3} horizon={horizon_s:.0} s mae={forecast_mae_w:.3} W"
             ),
         }
     }

@@ -1,0 +1,575 @@
+//! The evaluation corpus: named scenarios and the greedy / planned /
+//! oracle head-to-head runner behind `sdb policy`.
+//!
+//! Each [`Scenario`] pairs a pack with a workload (the same builds the
+//! `sdb` CLI exposes), a start state that puts the run under genuine
+//! energy pressure, and the fixed greedy blend it is judged against. The
+//! head-to-head runs every scenario under all three policy modes and
+//! reports battery life, brownouts, unserved energy, losses, wear spread,
+//! directive pushes, and re-plans — everything needed to see where
+//! lookahead buys real lifetime and what a perfect forecast would add.
+//!
+//! Determinism: outcomes are a pure function of `(scenario, seed)`. The
+//! text and JSON reports are built with stable formatting so byte-level
+//! comparison across runs and thread counts is meaningful.
+
+use crate::forecast::HistoryForecaster;
+use crate::planner::{Planner, PlannerConfig};
+use sdb_battery_model::{library, BatterySpec, Chemistry};
+use sdb_core::metrics::ccb;
+use sdb_core::policy::DischargeDirective;
+use sdb_core::runtime::SdbRuntime;
+use sdb_core::scheduler::{run_trace, run_trace_planned, SimOptions, SimResult};
+use sdb_emulator::{Microcontroller, PackBuilder, ProfileKind};
+use sdb_workloads::behavior::UserArchetype;
+use sdb_workloads::traces::{phone_day, tablet_session, watch_day};
+use sdb_workloads::{Activity, Trace};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Which battery pack a scenario runs on (the CLI's pack names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PackKind {
+    /// 200 mAh Li-ion + 200 mAh bendable strap (paper §5.2).
+    Watch,
+    /// 3 Ah high-energy + 1 Ah high-power.
+    Phone,
+    /// 4 Ah high-energy + 4 Ah fast-charge (paper §5.1).
+    TabletHybrid,
+    /// 2 × 4 Ah Li-ion, internal + keyboard (paper §5.3).
+    TwoInOne,
+}
+
+/// Which workload a scenario replays.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadKind {
+    /// 24 h watch day, optionally with the hour-9 GPS run (Figure 13).
+    WatchDay {
+        /// Hour of the GPS run, if any.
+        run_hour: Option<f64>,
+    },
+    /// 24 h smartphone day.
+    PhoneDay,
+    /// Tablet session mixing network, compute, and interaction.
+    TabletMixed {
+        /// Total session length, seconds.
+        total_s: f64,
+    },
+}
+
+/// One corpus entry: a pack × workload under energy pressure, with the
+/// fixed greedy blend it is judged against and the behavior archetype the
+/// history forecaster warm-starts from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scenario {
+    /// Stable scenario name (report key).
+    pub name: &'static str,
+    /// Pack to build.
+    pub pack: PackKind,
+    /// Workload to replay.
+    pub workload: WorkloadKind,
+    /// `true` → runner archetype, `false` → commuter (kept `Copy`).
+    pub runner_archetype: bool,
+    /// The fixed blend the greedy baseline runs with.
+    pub greedy_directive: f64,
+    /// Initial state of charge for every cell.
+    pub start_soc: f64,
+    /// Multiplier applied to the workload's load power.
+    pub load_scale: f64,
+}
+
+impl Scenario {
+    /// Builds the scenario's pack at its starting state of charge.
+    #[must_use]
+    pub fn build_pack(&self) -> Microcontroller {
+        let soc = self.start_soc;
+        match self.pack {
+            PackKind::Watch => PackBuilder::new()
+                .battery_at(
+                    library::watch_li_ion().spec().clone(),
+                    soc,
+                    ProfileKind::Standard,
+                )
+                .battery_at(
+                    library::watch_bendable().spec().clone(),
+                    soc,
+                    ProfileKind::Gentle,
+                )
+                .build(),
+            PackKind::Phone => PackBuilder::new()
+                .battery_at(
+                    BatterySpec::from_chemistry("high-energy", Chemistry::Type2CoStandard, 3.0),
+                    soc,
+                    ProfileKind::Standard,
+                )
+                .battery_at(
+                    BatterySpec::from_chemistry("high-power", Chemistry::Type3CoPower, 1.0),
+                    soc,
+                    ProfileKind::Fast,
+                )
+                .build(),
+            PackKind::TabletHybrid => PackBuilder::new()
+                .battery_at(
+                    BatterySpec::from_chemistry("high-energy", Chemistry::Type2CoStandard, 4.0),
+                    soc,
+                    ProfileKind::Standard,
+                )
+                .battery_at(
+                    BatterySpec::from_chemistry("fast-charge", Chemistry::Type3CoPower, 4.0),
+                    soc,
+                    ProfileKind::Fast,
+                )
+                .build(),
+            PackKind::TwoInOne => PackBuilder::new()
+                .battery_at(
+                    BatterySpec::from_chemistry("internal", Chemistry::Type2CoStandard, 4.0),
+                    soc,
+                    ProfileKind::Standard,
+                )
+                .battery_at(
+                    BatterySpec::from_chemistry("external", Chemistry::Type2CoStandard, 4.0),
+                    soc,
+                    ProfileKind::Standard,
+                )
+                .build(),
+        }
+    }
+
+    /// Builds the scenario's workload trace for `seed`, with the load
+    /// scale applied.
+    #[must_use]
+    pub fn build_trace(&self, seed: u64) -> Trace {
+        let base = match self.workload {
+            WorkloadKind::WatchDay { run_hour } => watch_day(seed, run_hour),
+            WorkloadKind::PhoneDay => phone_day(seed),
+            WorkloadKind::TabletMixed { total_s } => tablet_session(
+                seed,
+                &[Activity::Network, Activity::Compute, Activity::Interactive],
+                300.0,
+                total_s,
+            ),
+        };
+        if (self.load_scale - 1.0).abs() < 1e-12 {
+            return base;
+        }
+        let mut scaled = Trace::new();
+        for p in base.points() {
+            scaled.push(p.load_w * self.load_scale, p.external_w, p.dur_s);
+        }
+        scaled
+    }
+
+    /// The behavior archetype the history forecaster warm-starts from.
+    #[must_use]
+    pub fn archetype(&self) -> UserArchetype {
+        if self.runner_archetype {
+            UserArchetype::runner()
+        } else {
+            UserArchetype::commuter()
+        }
+    }
+}
+
+/// The scenario corpus: every pack class, with loads scaled so the packs
+/// run out of energy inside the trace — the regime where directive
+/// choice actually moves battery life.
+#[must_use]
+pub fn corpus() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            name: "watch-day",
+            pack: PackKind::Watch,
+            workload: WorkloadKind::WatchDay {
+                run_hour: Some(9.0),
+            },
+            runner_archetype: true,
+            greedy_directive: 0.5,
+            start_soc: 1.0,
+            load_scale: 1.0,
+        },
+        Scenario {
+            name: "watch-run-late",
+            pack: PackKind::Watch,
+            workload: WorkloadKind::WatchDay {
+                run_hour: Some(18.0),
+            },
+            runner_archetype: true,
+            greedy_directive: 0.5,
+            start_soc: 1.0,
+            load_scale: 1.0,
+        },
+        Scenario {
+            name: "watch-day-heavy",
+            pack: PackKind::Watch,
+            workload: WorkloadKind::WatchDay {
+                run_hour: Some(9.0),
+            },
+            runner_archetype: true,
+            greedy_directive: 0.5,
+            start_soc: 1.0,
+            load_scale: 1.3,
+        },
+        Scenario {
+            name: "watch-day-norun",
+            pack: PackKind::Watch,
+            workload: WorkloadKind::WatchDay { run_hour: None },
+            runner_archetype: true,
+            greedy_directive: 0.5,
+            start_soc: 1.0,
+            load_scale: 1.0,
+        },
+        Scenario {
+            name: "phone-day",
+            pack: PackKind::Phone,
+            workload: WorkloadKind::PhoneDay,
+            runner_archetype: false,
+            greedy_directive: 0.5,
+            start_soc: 1.0,
+            load_scale: 1.0,
+        },
+        Scenario {
+            name: "phone-heavy",
+            pack: PackKind::Phone,
+            workload: WorkloadKind::PhoneDay,
+            runner_archetype: false,
+            greedy_directive: 0.5,
+            start_soc: 0.8,
+            load_scale: 1.6,
+        },
+        Scenario {
+            name: "tablet-mixed",
+            pack: PackKind::TabletHybrid,
+            workload: WorkloadKind::TabletMixed {
+                total_s: 4.0 * 3600.0,
+            },
+            runner_archetype: false,
+            greedy_directive: 0.5,
+            start_soc: 0.5,
+            load_scale: 2.0,
+        },
+        Scenario {
+            name: "two-in-one",
+            pack: PackKind::TwoInOne,
+            workload: WorkloadKind::TabletMixed {
+                total_s: 6.0 * 3600.0,
+            },
+            runner_archetype: false,
+            greedy_directive: 0.5,
+            start_soc: 0.6,
+            load_scale: 2.5,
+        },
+    ]
+}
+
+/// The three interchangeable policy modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// The paper's fixed CCB/RBL blend (instantaneously optimal).
+    Greedy,
+    /// Receding-horizon planner over the history forecaster.
+    Planned,
+    /// Receding-horizon planner over the perfect forecast.
+    Oracle,
+}
+
+impl PolicyMode {
+    /// Stable lowercase name (report key / CLI value).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyMode::Greedy => "greedy",
+            PolicyMode::Planned => "planned",
+            PolicyMode::Oracle => "oracle",
+        }
+    }
+
+    /// Parses a CLI value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "greedy" => Some(PolicyMode::Greedy),
+            "planned" => Some(PolicyMode::Planned),
+            "oracle" => Some(PolicyMode::Oracle),
+            _ => None,
+        }
+    }
+}
+
+/// Outcome of one scenario × policy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Policy mode that produced this row.
+    pub policy: PolicyMode,
+    /// Battery life (time to first brownout, or full trace), seconds.
+    pub life_s: f64,
+    /// Whether any load went unserved.
+    pub browned_out: bool,
+    /// Unserved load energy, joules.
+    pub unmet_j: f64,
+    /// Total conversion + heat losses, joules.
+    pub loss_j: f64,
+    /// Wear spread after the run (CCB metric: max/min wear ratio).
+    pub wear_ccb: f64,
+    /// Directive pushes the runtime sent to hardware.
+    pub pushes: u64,
+    /// Plans committed (0 for greedy).
+    pub replans: u64,
+    /// Final forecast MAE, watts (0 for greedy and oracle).
+    pub forecast_mae_w: f64,
+}
+
+/// Planner configuration the corpus uses for both planned and oracle
+/// modes (the oracle additionally gets the full-trace horizon and a
+/// denser candidate grid). The 8 h horizon is long enough that a
+/// habit-forecast planner sees a day's stress event (a GPS run, an
+/// evening commute) several re-plans before it starts.
+#[must_use]
+pub fn corpus_planner_config() -> PlannerConfig {
+    PlannerConfig {
+        horizon_s: 8.0 * 3600.0,
+        ..PlannerConfig::default()
+    }
+}
+
+/// Days of behavior-model history the planned mode warm-starts from.
+pub const WARMUP_DAYS: u32 = 14;
+
+/// Seed offset separating forecaster warm-up history from the evaluated
+/// trace, so the planner never trains on the exact day it is judged on.
+pub const WARMUP_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Runs one scenario under one policy mode. Pure function of
+/// `(scenario, mode, seed)`.
+#[must_use]
+pub fn run_scenario(s: &Scenario, mode: PolicyMode, seed: u64) -> RunOutcome {
+    let mut micro = s.build_pack();
+    let trace = s.build_trace(seed);
+    let mut runtime = SdbRuntime::new(micro.battery_count());
+    let opts = SimOptions::default();
+    let (result, replans, mae): (SimResult, u64, f64) = match mode {
+        PolicyMode::Greedy => {
+            runtime.set_discharge_directive(DischargeDirective::new(s.greedy_directive));
+            (run_trace(&mut micro, &mut runtime, &trace, &opts), 0, 0.0)
+        }
+        PolicyMode::Planned => {
+            // Warm-start from "previous days": the same workload
+            // generator under derived seeds. The planner never sees the
+            // evaluated day itself — its forecast is the user's habit,
+            // not the answer key (that is the oracle's job).
+            let history: Vec<Trace> = (1..=u64::from(WARMUP_DAYS))
+                .map(|k| s.build_trace(seed.wrapping_add(k.wrapping_mul(WARMUP_SEED_SALT))))
+                .collect();
+            let forecaster = HistoryForecaster::from_history(&history, 0.3);
+            let mut planner = Planner::new(corpus_planner_config(), Box::new(forecaster));
+            let res = run_trace_planned(&mut micro, &mut runtime, &trace, &opts, &mut planner);
+            (res, planner.replans(), planner.forecast_mae_w())
+        }
+        PolicyMode::Oracle => {
+            let cfg = PlannerConfig {
+                candidates: 17,
+                ..corpus_planner_config()
+            };
+            let mut planner = Planner::oracle(cfg, Arc::new(trace.clone()));
+            let res = run_trace_planned(&mut micro, &mut runtime, &trace, &opts, &mut planner);
+            (res, planner.replans(), 0.0)
+        }
+    };
+    let wear: Vec<f64> = micro.cells().iter().map(|c| c.wear_ratio()).collect();
+    RunOutcome {
+        scenario: s.name,
+        policy: mode,
+        life_s: result.battery_life_s(),
+        browned_out: result.first_brownout_s.is_some(),
+        unmet_j: result.unmet_j,
+        loss_j: result.total_loss_j(),
+        wear_ccb: ccb(&wear),
+        pushes: runtime.pushes(),
+        replans,
+        forecast_mae_w: mae,
+    }
+}
+
+/// A full greedy / planned / oracle sweep over the corpus.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeadToHead {
+    /// Master seed the sweep ran under.
+    pub seed: u64,
+    /// One row per scenario × policy, corpus order, greedy → planned →
+    /// oracle within each scenario.
+    pub rows: Vec<RunOutcome>,
+}
+
+/// Runs the whole corpus under all three policy modes.
+#[must_use]
+pub fn run_head_to_head(seed: u64) -> HeadToHead {
+    let mut rows = Vec::new();
+    for s in corpus() {
+        for mode in [PolicyMode::Greedy, PolicyMode::Planned, PolicyMode::Oracle] {
+            rows.push(run_scenario(&s, mode, seed));
+        }
+    }
+    HeadToHead { seed, rows }
+}
+
+impl HeadToHead {
+    /// Scenarios where the planner strictly beats greedy on battery life
+    /// or serves strictly more of the load.
+    #[must_use]
+    pub fn planner_wins(&self) -> usize {
+        self.pairs()
+            .filter(|(g, p, _)| p.life_s > g.life_s || p.unmet_j < g.unmet_j)
+            .count()
+    }
+
+    /// Scenarios where the oracle's battery life is at least both the
+    /// greedy's and the planner's (within float noise).
+    #[must_use]
+    pub fn oracle_bounds(&self) -> usize {
+        self.pairs()
+            .filter(|(g, p, o)| o.life_s >= g.life_s - 1e-6 && o.life_s >= p.life_s - 1e-6)
+            .count()
+    }
+
+    fn pairs(&self) -> impl Iterator<Item = (&RunOutcome, &RunOutcome, &RunOutcome)> {
+        self.rows.chunks_exact(3).map(|c| (&c[0], &c[1], &c[2]))
+    }
+
+    /// Fixed-width table, one row per scenario × policy.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "policy head-to-head (seed {}, {} scenarios)",
+            self.seed,
+            self.rows.len() / 3
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:<8} {:>8} {:>9} {:>10} {:>10} {:>9} {:>7} {:>8} {:>8}",
+            "scenario",
+            "policy",
+            "life_h",
+            "brownout",
+            "unmet_j",
+            "loss_j",
+            "wear_ccb",
+            "pushes",
+            "replans",
+            "mae_w"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<16} {:<8} {:>8.2} {:>9} {:>10.1} {:>10.1} {:>9.3} {:>7} {:>8} {:>8.3}",
+                r.scenario,
+                r.policy.name(),
+                r.life_s / 3600.0,
+                if r.browned_out { "yes" } else { "-" },
+                r.unmet_j,
+                r.loss_j,
+                r.wear_ccb,
+                r.pushes,
+                r.replans,
+                r.forecast_mae_w
+            );
+        }
+        let _ = writeln!(
+            out,
+            "planner beats greedy on {} / {} scenarios; oracle bounds both on {} / {}",
+            self.planner_wins(),
+            self.rows.len() / 3,
+            self.oracle_bounds(),
+            self.rows.len() / 3
+        );
+        out
+    }
+
+    /// Canonical JSON export (stable key order, `{:?}` float formatting —
+    /// byte-identical across runs and thread counts).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn f(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:?}")
+            } else {
+                "null".to_owned()
+            }
+        }
+        let mut out = String::new();
+        let _ = write!(out, "{{\"seed\":{},\"rows\":[", self.seed);
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"scenario\":\"{}\",\"policy\":\"{}\",\"life_s\":{},\"browned_out\":{},\"unmet_j\":{},\"loss_j\":{},\"wear_ccb\":{},\"pushes\":{},\"replans\":{},\"forecast_mae_w\":{}}}",
+                r.scenario,
+                r.policy.name(),
+                f(r.life_s),
+                r.browned_out,
+                f(r.unmet_j),
+                f(r.loss_j),
+                f(r.wear_ccb),
+                r.pushes,
+                r.replans,
+                f(r.forecast_mae_w)
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"planner_wins\":{},\"oracle_bounds\":{}}}",
+            self.planner_wins(),
+            self.oracle_bounds()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_stable_and_named_uniquely() {
+        let c = corpus();
+        assert!(c.len() >= 5);
+        let mut names: Vec<_> = c.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic() {
+        let s = corpus()
+            .into_iter()
+            .find(|s| s.name == "tablet-mixed")
+            .unwrap();
+        let a = run_scenario(&s, PolicyMode::Planned, 42);
+        let b = run_scenario(&s, PolicyMode::Planned, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn greedy_mode_commits_no_plans() {
+        let s = corpus().into_iter().next().unwrap();
+        let r = run_scenario(&s, PolicyMode::Greedy, 42);
+        assert_eq!(r.replans, 0);
+        assert_eq!(r.forecast_mae_w, 0.0);
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let h = HeadToHead {
+            seed: 1,
+            rows: vec![],
+        };
+        let j = h.to_json();
+        assert!(j.starts_with("{\"seed\":1"));
+        assert!(j.ends_with('}'));
+    }
+}

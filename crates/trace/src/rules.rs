@@ -57,6 +57,8 @@ pub enum Signal {
     DirectivePushesInWindow,
     /// Watchdog engagements (link declared dark) within the window.
     WatchdogEngagementsInWindow,
+    /// Lookahead-planner plan commits (re-plans) within the window.
+    ReplansInWindow,
 }
 
 impl Signal {
@@ -68,6 +70,7 @@ impl Signal {
             Signal::ThermalTransitionsInWindow => "thermal_transitions_in_window",
             Signal::DirectivePushesInWindow => "directive_pushes_in_window",
             Signal::WatchdogEngagementsInWindow => "watchdog_engagements_in_window",
+            Signal::ReplansInWindow => "replans_in_window",
         }
     }
 }
@@ -158,6 +161,15 @@ pub fn default_rules() -> Vec<RuleSpec> {
             signal: Signal::DirectivePushesInWindow,
             window_s: 600.0,
             threshold: 8.0,
+            cmp: Cmp::Above,
+            severity: Severity::Info,
+        },
+        RuleSpec {
+            id: "replan-thrash".to_owned(),
+            description: "more than 4 planner re-plans in 30 min (plan instability)".to_owned(),
+            signal: Signal::ReplansInWindow,
+            window_s: 1800.0,
+            threshold: 4.0,
             cmp: Cmp::Above,
             severity: Severity::Info,
         },
@@ -278,6 +290,7 @@ impl RuleEngine {
                     Signal::WatchdogEngagementsInWindow,
                     ObsEvent::WatchdogTransition { engaged: true, .. },
                 ) => Some(1.0),
+                (Signal::ReplansInWindow, ObsEvent::PlanCommit { .. }) => Some(1.0),
                 _ => None,
             };
             let Some(sample) = sample else { continue };
@@ -306,7 +319,8 @@ impl RuleEngine {
                 }
                 Signal::ThermalTransitionsInWindow
                 | Signal::DirectivePushesInWindow
-                | Signal::WatchdogEngagementsInWindow => {
+                | Signal::WatchdogEngagementsInWindow
+                | Signal::ReplansInWindow => {
                     state.window.push_back((t_s, sample));
                     while let Some(&(t0, _)) = state.window.front() {
                         if t_s - t0 > rule.window_s {
@@ -372,6 +386,31 @@ impl RuleReport {
         self.stats.iter().filter(|s| s.evaluations > 0).count()
     }
 
+    /// Accepted directive pushes per planner re-plan, or `None` when the
+    /// stream carries no plan commits (greedy runs). Each windowed-count
+    /// evaluation corresponds to exactly one matching event, so the
+    /// evaluation counters are the stream-wide event totals. A planner
+    /// whose plans stick should keep this near the pushes a single plan
+    /// needs; a climbing ratio means directives churn between re-plans.
+    #[must_use]
+    pub fn thrash_per_replan(&self) -> Option<f64> {
+        let count = |signal: Signal| {
+            self.rules
+                .iter()
+                .zip(&self.stats)
+                .filter(|(r, _)| r.signal == signal)
+                .map(|(_, s)| s.evaluations)
+                .max()
+                .unwrap_or(0)
+        };
+        let replans = count(Signal::ReplansInWindow);
+        if replans == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        Some(count(Signal::DirectivePushesInWindow) as f64 / replans as f64)
+    }
+
     /// Findings at or above `severity`.
     #[must_use]
     pub fn findings_at_least(&self, severity: Severity) -> usize {
@@ -407,6 +446,9 @@ impl RuleReport {
                 stats.findings,
                 stats.devices_affected
             );
+        }
+        if let Some(ratio) = self.thrash_per_replan() {
+            let _ = writeln!(out, "directive thrash per re-plan: {ratio:.2}");
         }
         if !self.findings.is_empty() {
             let mut worst: Vec<&HealthFinding> = self.findings.iter().collect();
@@ -465,7 +507,14 @@ impl RuleReport {
                 f.rule, f.device, f.t_s, f.value, f.severity
             );
         }
-        out.push_str("]}");
+        out.push_str("],\"thrash_per_replan\":");
+        match self.thrash_per_replan() {
+            Some(v) if v.is_finite() => {
+                let _ = write!(out, "{v:?}");
+            }
+            _ => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 }
@@ -597,6 +646,50 @@ mod tests {
                 .count(),
             1
         );
+    }
+
+    #[test]
+    fn replan_thrash_counts_plan_commits() {
+        let commit = ObsEvent::PlanCommit {
+            discharge_directive: 0.4,
+            horizon_s: 3600.0,
+            forecast_mae_w: 0.1,
+        };
+        let eval = ObsEvent::PolicyEvaluation {
+            pushed: true,
+            charge_directive: 0.5,
+            discharge_directive: 0.5,
+        };
+        // 5 commits within 30 min cross the >4 threshold on the fifth.
+        let mut eng = RuleEngine::with_defaults();
+        for i in 0..5u64 {
+            eng.process(3, 300.0 * (i + 1) as f64, &commit);
+            eng.process(3, 300.0 * (i + 1) as f64 + 1.0, &eval);
+            eng.process(3, 300.0 * (i + 1) as f64 + 2.0, &eval);
+        }
+        let report = eng.finish();
+        assert_eq!(
+            report
+                .findings
+                .iter()
+                .filter(|f| f.rule == "replan-thrash")
+                .count(),
+            1
+        );
+        // 10 pushes over 5 re-plans.
+        assert_eq!(report.thrash_per_replan(), Some(2.0));
+        // Spread out past the window, the same commits stay quiet.
+        let mut eng = RuleEngine::with_defaults();
+        for i in 0..5u64 {
+            eng.process(3, 2000.0 * (i + 1) as f64, &commit);
+        }
+        let report = eng.finish();
+        assert_eq!(report.findings.len(), 0);
+        assert_eq!(report.thrash_per_replan(), Some(0.0));
+        // A greedy stream (no commits) reports no ratio at all.
+        let mut eng = RuleEngine::with_defaults();
+        eng.process(3, 60.0, &eval);
+        assert_eq!(eng.finish().thrash_per_replan(), None);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub const EVENT_KINDS: &[&str] = &[
     "command_retry",
     "watchdog_transition",
     "gauge_degraded",
+    "plan_commit",
 ];
 
 /// The `kind` string of one event.
@@ -46,6 +47,7 @@ pub fn event_kind(event: &ObsEvent) -> &'static str {
         ObsEvent::CommandRetry { .. } => "command_retry",
         ObsEvent::WatchdogTransition { .. } => "watchdog_transition",
         ObsEvent::GaugeDegraded { .. } => "gauge_degraded",
+        ObsEvent::PlanCommit { .. } => "plan_commit",
     }
 }
 
@@ -213,6 +215,19 @@ pub fn to_jsonl_line(e: &DeviceEvent) -> String {
                 esc(reason)
             );
         }
+        ObsEvent::PlanCommit {
+            discharge_directive,
+            horizon_s,
+            forecast_mae_w,
+        } => {
+            let _ = write!(
+                out,
+                ",\"discharge_directive\":{},\"horizon_s\":{},\"forecast_mae_w\":{}",
+                fmt_f64(*discharge_directive),
+                fmt_f64(*horizon_s),
+                fmt_f64(*forecast_mae_w)
+            );
+        }
     }
     out.push('}');
     out
@@ -355,6 +370,11 @@ pub fn from_jsonl_line(line: &str) -> Result<DeviceEvent, String> {
             battery: need_usize(&v, "battery")?,
             degraded: need_bool(&v, "degraded")?,
             reason: intern(need_str(&v, "reason")?),
+        },
+        "plan_commit" => ObsEvent::PlanCommit {
+            discharge_directive: need_f64(&v, "discharge_directive")?,
+            horizon_s: need_f64(&v, "horizon_s")?,
+            forecast_mae_w: need_f64(&v, "forecast_mae_w")?,
         },
         other => return Err(format!("unknown event kind `{other}`")),
     };
@@ -584,6 +604,16 @@ mod tests {
                     reason: "stuck-soc",
                 },
             },
+            DeviceEvent {
+                device: 1,
+                seq: 10,
+                t_s: 157.0,
+                event: ObsEvent::PlanCommit {
+                    discharge_directive: 0.625,
+                    horizon_s: 3600.0,
+                    forecast_mae_w: 0.0625,
+                },
+            },
         ]
     }
 
@@ -639,8 +669,8 @@ mod tests {
         // It must itself be valid JSON (our parser accepts full JSON).
         let v = json::parse(&chrome).unwrap();
         let arr = v.get("traceEvents").unwrap().as_arr().unwrap();
-        // 2 metadata + 2 counters (one step sample) + 11 instants.
-        assert_eq!(arr.len(), 15);
+        // 2 metadata + 2 counters (one step sample) + 12 instants.
+        assert_eq!(arr.len(), 16);
         assert!(chrome.contains("\"name\":\"device-0\""));
         assert!(chrome.contains("\"name\":\"device-1\""));
         assert!(chrome.contains("\"ph\":\"C\""));

@@ -103,6 +103,19 @@ pub fn ingest(text: &str) -> Result<Vec<PerfMetric>, String> {
                     direction: Direction::LowerIsBetter,
                 });
             }
+            // Optional: the policy_plan bench merges its ns/plan into the
+            // same document (older artifacts won't carry it).
+            if let Some(ns) = doc
+                .get("policy_plan")
+                .and_then(|p| p.get("ns_per_plan"))
+                .and_then(Value::as_f64)
+            {
+                out.push(PerfMetric {
+                    key: "micro_step.policy_plan.ns_per_plan".to_owned(),
+                    value: ns,
+                    direction: Direction::LowerIsBetter,
+                });
+            }
             Ok(out)
         }
         "fleet_scaling" => {
@@ -362,6 +375,23 @@ mod tests {
         assert_eq!(fleet[1].direction, Direction::HigherIsBetter);
         assert!(ingest("{\"bench\":\"mystery\"}").is_err());
         assert!(ingest("not json").is_err());
+    }
+
+    #[test]
+    fn ingest_picks_up_merged_policy_plan_entry() {
+        let merged = MICRO.replace(
+            ",\"host_cpus\"",
+            ",\"policy_plan\":{\"ns_per_plan\":123456.0},\"host_cpus\"",
+        );
+        let metrics = ingest(&merged).expect("merged micro parses");
+        let pp = metrics
+            .iter()
+            .find(|m| m.key == "micro_step.policy_plan.ns_per_plan")
+            .expect("policy_plan metric ingested");
+        assert_eq!(pp.value, 123_456.0);
+        assert_eq!(pp.direction, Direction::LowerIsBetter);
+        // Absent from older artifacts → simply not emitted.
+        assert_eq!(ingest(MICRO).expect("parses").len(), 3);
     }
 
     #[test]

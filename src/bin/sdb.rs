@@ -3,17 +3,18 @@
 //! ```text
 //! sdb packs                                  list built-in packs
 //! sdb traces                                 list built-in traces
-//! sdb sim    --pack watch --trace watch-day [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--events-out <jsonl>]
+//! sdb sim    --pack watch --trace watch-day [--policy preserve|rbl|ccb|blend:<v>|planned|oracle] [--seed N] [--events-out <jsonl>]
 //! sdb sim    --pack phone --trace-file captured.csv   (CSV: dur_s,load_w[,external_w])
 //! sdb charge --pack tablet-hybrid --watts 45 [--directive <0..1>] [--target <pct>]
 //! sdb status --pack phone [--soc <0..1>]     show QueryBatteryStatus + ACPI view
-//! sdb fleet  --devices 10000 --threads 8 --seed 42 [--hours H] [--json] [--metrics-out <path>]
+//! sdb fleet  --devices 10000 --threads 8 --seed 42 [--hours H] [--policy greedy|planned|oracle] [--json] [--metrics-out <path>]
 //!            [--events-out <jsonl>] [--trace-out <jsonl>]   (trace-out also writes a Perfetto-loadable .chrome.json)
+//! sdb policy [--seed N] [--json] [--out <path>]  greedy vs planner vs oracle head-to-head over the scenario corpus
 //! sdb analyze --trace <jsonl> [--json]       replay a recorded trace through the health rules
 //! sdb analyze --devices 200 --seed 42 [--hours H] [--threads N] [--json]   run a fleet inline and analyze it
 //! sdb chaos  --devices 200 --seed 42 [--intensity 0.7] [--hours H] [--load W] [--threads N] [--json] [--out <path>] [--metrics-out <path>]
 //!            run a fault-injection campaign; exits non-zero on any invariant violation
-//! sdb serve  [--addr 127.0.0.1:0] [--telemetry] [--devices N] [--seed N] [--hours H] [--threads N] [--scrape-ms 250]
+//! sdb serve  [--addr 127.0.0.1:0] [--telemetry] [--policy greedy|planned|oracle] [--devices N] [--seed N] [--hours H] [--threads N] [--scrape-ms 250]
 //!            HTTP surface: /metrics (Prometheus), /query (JSON), /healthz, /shutdown;
 //!            --telemetry runs a fleet in the background with live counters + stored series
 //! sdb perf   [--history PERF_HISTORY.jsonl] [--micro BENCH_micro.json] [--fleet BENCH_fleet.json]
@@ -24,10 +25,12 @@
 use sdb::battery_model::{library, BatterySpec, Chemistry};
 use sdb::core::policy::{ChargeDirective, DischargeDirective, PreservePolicy};
 use sdb::core::runtime::SdbRuntime;
+use sdb::core::scheduler::run_trace_planned;
 use sdb::core::scheduler::{run_charge_session, run_trace, SimOptions};
 use sdb::emulator::{acpi, Microcontroller, PackBuilder, ProfileKind};
 use sdb::fleet;
 use sdb::observe::{MetricsRegistry, Observer, TraceCollector};
+use sdb::policy::{HistoryForecaster, Planner, PlannerConfig};
 use sdb::trace as sdbtrace;
 use sdb::tsdb;
 use sdb::workloads::traces::{phone_day, tablet_session, watch_day, Trace};
@@ -181,7 +184,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]"
+        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>|planned|oracle] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--policy greedy|planned|oracle] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]
+  sdb policy [--seed <N>] [--json] [--out <path>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--policy greedy|planned|oracle] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]"
     );
     ExitCode::FAILURE
 }
@@ -255,23 +259,67 @@ fn cmd_sim(flags: &HashMap<String, String>) -> ExitCode {
         runtime.set_observer(obs);
         shared
     });
-    match flags.get("policy").map(String::as_str).unwrap_or("rbl") {
-        "preserve" => runtime.set_preserve(Some(PreservePolicy::new(0, 1, 0.3))),
-        "rbl" => runtime.set_discharge_directive(DischargeDirective::new(1.0)),
-        "ccb" => runtime.set_discharge_directive(DischargeDirective::new(0.0)),
-        other => {
-            if let Some(v) = other
-                .strip_prefix("blend:")
-                .and_then(|v| v.parse::<f64>().ok())
-            {
-                runtime.set_discharge_directive(DischargeDirective::new(v));
-            } else {
-                eprintln!("unknown policy `{other}`");
-                return ExitCode::FAILURE;
+    let mut planner: Option<Planner> =
+        match flags.get("policy").map(String::as_str).unwrap_or("rbl") {
+            "preserve" => {
+                runtime.set_preserve(Some(PreservePolicy::new(0, 1, 0.3)));
+                None
             }
-        }
-    }
-    let result = run_trace(&mut micro, &mut runtime, &trace, &SimOptions::default());
+            "rbl" => {
+                runtime.set_discharge_directive(DischargeDirective::new(1.0));
+                None
+            }
+            "ccb" => {
+                runtime.set_discharge_directive(DischargeDirective::new(0.0));
+                None
+            }
+            "planned" => {
+                // Warm-start the forecaster from "previous days": the same
+                // named generator under derived seeds. A recorded CSV trace
+                // has no generator, so it serves as its own history.
+                let history: Vec<Trace> = if flags.contains_key("trace-file") {
+                    vec![trace.clone()]
+                } else {
+                    (1..=7u64)
+                        .map(|k| {
+                            build_trace(&trace_name, seed.wrapping_add(k.wrapping_mul(0x9E37_79B9)))
+                                .expect("trace name was validated above")
+                        })
+                        .collect()
+                };
+                let cfg = PlannerConfig {
+                    horizon_s: 8.0 * 3600.0,
+                    ..PlannerConfig::default()
+                };
+                Some(Planner::new(
+                    cfg,
+                    Box::new(HistoryForecaster::from_history(&history, 0.3)),
+                ))
+            }
+            "oracle" => Some(Planner::oracle(
+                PlannerConfig {
+                    candidates: 17,
+                    ..PlannerConfig::default()
+                },
+                std::sync::Arc::new(trace.clone()),
+            )),
+            other => {
+                if let Some(v) = other
+                    .strip_prefix("blend:")
+                    .and_then(|v| v.parse::<f64>().ok())
+                {
+                    runtime.set_discharge_directive(DischargeDirective::new(v));
+                } else {
+                    eprintln!("unknown policy `{other}`");
+                    return ExitCode::FAILURE;
+                }
+                None
+            }
+        };
+    let result = match planner.as_mut() {
+        Some(p) => run_trace_planned(&mut micro, &mut runtime, &trace, &SimOptions::default(), p),
+        None => run_trace(&mut micro, &mut runtime, &trace, &SimOptions::default()),
+    };
     if let (Some(collector), Some(path)) = (collector, flags.get("events-out")) {
         let events = collector.lock().expect("collector lock").drain();
         let jsonl = sdbtrace::to_jsonl(&events);
@@ -302,6 +350,15 @@ fn cmd_sim(flags: &HashMap<String, String>) -> ExitCode {
         result.total_loss_j() / result.supplied_j * 100.0
     );
     let _ = writeln!(out, "unserved:      {:.1} J", result.unmet_j);
+    if let Some(p) = &planner {
+        let _ = writeln!(
+            out,
+            "plans:         {} committed, final directive {:.3}, forecast mae {:.3} W",
+            p.replans(),
+            p.current_directive(),
+            p.forecast_mae_w()
+        );
+    }
     for (i, (t, cell)) in result.battery_empty_s.iter().zip(micro.cells()).enumerate() {
         match t {
             Some(s) => {
@@ -445,7 +502,23 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
         .and_then(|s| s.parse().ok())
         .unwrap_or(4.0);
 
-    let spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
+    let mut spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
+    match flags.get("policy").map(String::as_str) {
+        None | Some("greedy") => {}
+        Some("planned") => {
+            spec = spec.with_policy(fleet::PolicySpec::Planned {
+                horizon_s: 8.0 * 3600.0,
+                replan_s: 1800.0,
+            });
+        }
+        Some("oracle") => {
+            spec = spec.with_policy(fleet::PolicySpec::Oracle);
+        }
+        Some(other) => {
+            eprintln!("unknown fleet policy `{other}` (expected greedy, planned, or oracle)");
+            return ExitCode::FAILURE;
+        }
+    }
     let capture = flags.contains_key("trace-out") || flags.contains_key("events-out");
     let (report, stats, events) = match fleet::run_fleet_captured(&spec, threads, capture) {
         Ok(r) => r,
@@ -733,8 +806,27 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
             .unwrap_or(1.0);
         let registry = registry.clone();
         let store = store.clone();
+        // `--policy planned|oracle` runs the telemetry fleet under the
+        // lookahead planner so `/metrics` carries the
+        // `sdb_policy_forecast_mae` gauge and re-plan counter.
+        let policy = flags.get("policy").cloned();
         std::thread::spawn(move || {
-            let spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
+            let mut spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
+            match policy.as_deref() {
+                None | Some("greedy") => {}
+                Some("planned") => {
+                    spec = spec.with_policy(fleet::PolicySpec::Planned {
+                        horizon_s: 8.0 * 3600.0,
+                        replan_s: 1800.0,
+                    });
+                }
+                Some("oracle") => {
+                    spec = spec.with_policy(fleet::PolicySpec::Oracle);
+                }
+                Some(other) => {
+                    eprintln!("unknown fleet policy `{other}`; running greedy");
+                }
+            }
             match fleet::run_fleet_live(&spec, threads, true, &registry) {
                 Ok((_, _, events)) => {
                     let events = events.expect("capture was requested");
@@ -879,6 +971,28 @@ fn cmd_perf(flags: &HashMap<String, String>) -> ExitCode {
     }
 }
 
+fn cmd_policy(flags: &HashMap<String, String>) -> ExitCode {
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let h2h = sdb::policy::run_head_to_head(seed);
+    let text = if flags.contains_key("json") {
+        let mut json = h2h.to_json();
+        json.push('\n');
+        json
+    } else {
+        h2h.render_text()
+    };
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("failed to write report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote policy report to {path}");
+    } else {
+        emit(&text);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flags = parse_flags(&args[1.min(args.len())..]);
@@ -907,6 +1021,7 @@ fn main() -> ExitCode {
         Some("chaos") => cmd_chaos(&flags),
         Some("serve") => cmd_serve(&flags),
         Some("perf") => cmd_perf(&flags),
+        Some("policy") => cmd_policy(&flags),
         _ => usage(),
     }
 }

@@ -32,6 +32,10 @@
 //!   compression, ring retention with tiered downsampling, typed
 //!   queries, the `sdb serve` HTTP surface, and the `sdb perf`
 //!   longitudinal regression gate.
+//! * [`policy`] — plan-based lookahead policies: load forecasting over
+//!   the behavior models, a receding-horizon directive planner, the
+//!   perfect-forecast oracle upper bound, and the greedy / planned /
+//!   oracle head-to-head corpus behind `sdb policy`.
 //!
 //! ## Quickstart
 //!
@@ -74,6 +78,7 @@ pub use sdb_emulator as emulator;
 pub use sdb_fleet as fleet;
 pub use sdb_fuel_gauge as fuel_gauge;
 pub use sdb_observe as observe;
+pub use sdb_policy as policy;
 pub use sdb_power_electronics as power_electronics;
 pub use sdb_trace as trace;
 pub use sdb_tsdb as tsdb;

@@ -9,10 +9,11 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "ev_route",
     "fast_charge",
     "optimal_planning",
+    "policy_headtohead",
     "quickstart",
     "smart_watch",
     "two_in_one",
