@@ -60,6 +60,88 @@ fn allocs_per_step(n: usize) -> f64 {
     (alloc_counter::allocs() - before) as f64 / steps as f64
 }
 
+/// Pack size the profiler-overhead pair runs on (the largest inline
+/// size — the configuration `sdb perf` gates).
+const PROF_PACK: usize = 8;
+/// Steps per timed run: enough to amortize warmup and cover ~15 hot
+/// (sampled) profiler ticks per run.
+const PROF_STEPS: u64 = 2000;
+/// Interleaved repetitions per mode; min-of-reps on both sides.
+const PROF_REPS: usize = 7;
+
+/// One warmed, timed run of `PROF_STEPS` steps, returning ns/step.
+fn prof_timed_run(template: &Microcontroller, load: f64) -> f64 {
+    let mut micro = template.clone();
+    for _ in 0..50 {
+        black_box(micro.step(load, 0.0, 1.0));
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..PROF_STEPS {
+        black_box(micro.step(load, 0.0, 1.0));
+    }
+    t0.elapsed().as_nanos() as f64 / PROF_STEPS as f64
+}
+
+/// Measures the profiler's cost on the hot loop: interleaved
+/// disabled/enabled repetitions (min-of-reps each) on the 8-battery
+/// pack, plus a steady-state allocation count and the per-phase
+/// self-time shares of the micro step. Returns
+/// `(overhead_pct, profiled_allocs_per_step, phase shares %)`.
+fn prof_overhead() -> (f64, f64, Vec<(&'static str, f64)>) {
+    let template = pack_of(PROF_PACK);
+    let load = 3.0 * PROF_PACK as f64;
+    let mut min_disabled = f64::INFINITY;
+    let mut min_enabled = f64::INFINITY;
+    for _ in 0..PROF_REPS {
+        sdb_prof::disable();
+        min_disabled = min_disabled.min(prof_timed_run(&template, load));
+        sdb_prof::enable();
+        min_enabled = min_enabled.min(prof_timed_run(&template, load));
+    }
+    let overhead_pct = ((min_enabled - min_disabled) / min_disabled * 100.0).max(0.0);
+
+    // Steady-state allocations with the profiler recording: the slot
+    // table and prewarmed sketches were created during the runs above,
+    // so these steps must not allocate at all (sketch inserts are
+    // clamped into the prewarmed bucket range).
+    let mut micro = template.clone();
+    for _ in 0..200 {
+        black_box(micro.step(load, 0.0, 1.0));
+    }
+    let steps = 1000u64;
+    let before = alloc_counter::allocs();
+    for _ in 0..steps {
+        black_box(micro.step(load, 0.0, 1.0));
+    }
+    let profiled_allocs = (alloc_counter::allocs() - before) as f64 / steps as f64;
+
+    // Phase shares from a clean aggregate: share of the micro step's
+    // sampled time spent in each instrumented sub-phase.
+    sdb_prof::reset();
+    let mut micro = template.clone();
+    for _ in 0..(4 * sdb_prof::SAMPLE_EVERY) {
+        black_box(micro.step(load, 0.0, 1.0));
+    }
+    sdb_prof::flush_thread();
+    sdb_prof::disable();
+    let snap = sdb_prof::snapshot();
+    let step_node = snap
+        .find_path(&[sdb_prof::Phase::MicroStep])
+        .expect("profiled run recorded micro steps");
+    let shares: Vec<(&'static str, f64)> = step_node
+        .children
+        .iter()
+        .map(|c| {
+            (
+                c.phase.name(),
+                c.total_ns as f64 / step_node.total_ns.max(1) as f64 * 100.0,
+            )
+        })
+        .collect();
+    sdb_prof::reset();
+    (overhead_pct, profiled_allocs, shares)
+}
+
 fn main() {
     let mut h = Harness::from_args();
     let sizes = [2usize, 4, 8];
@@ -99,6 +181,25 @@ fn main() {
          loop regressed"
     );
 
+    let (overhead_pct, profiled_allocs, shares) = prof_overhead();
+    println!(
+        "  prof overhead (pack {PROF_PACK}): {overhead_pct:.2}% \
+         ({profiled_allocs} allocs/step profiled)"
+    );
+    for (name, pct) in &shares {
+        println!("    {name:<16} {pct:5.1}% of sampled step time");
+    }
+    assert!(
+        overhead_pct <= 5.0,
+        "profiler overhead {overhead_pct:.2}% exceeds the 5% budget on the \
+         {PROF_PACK}-battery pack"
+    );
+    assert!(
+        profiled_allocs == 0.0,
+        "profiled micro step allocated ({profiled_allocs}/step) — the prof \
+         hot path must stay allocation-free"
+    );
+
     let mut json = String::new();
     json.push_str("{\"bench\":\"micro_step\",\"steps_per_call\":");
     let _ = write!(json, "{STEPS_PER_CALL}");
@@ -115,7 +216,20 @@ fn main() {
     }
     let _ = write!(
         json,
-        "],\"allocs_per_step_max\":{max_allocs:?},\"host_cpus\":{}}}",
+        "],\"allocs_per_step_max\":{max_allocs:?},\"prof\":{{\"pack\":{PROF_PACK},\
+         \"sample_every\":{},\"overhead_pct\":{overhead_pct:?},\
+         \"profiled_allocs_per_step\":{profiled_allocs:?},\"phase_share\":{{",
+        sdb_prof::SAMPLE_EVERY
+    );
+    for (i, (name, pct)) in shares.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(json, "\"{name}\":{pct:?}");
+    }
+    let _ = write!(
+        json,
+        "}}}},\"host_cpus\":{}}}",
         std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
     );
 

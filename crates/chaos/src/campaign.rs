@@ -402,19 +402,24 @@ fn run_campaign_inner(
         return Err(format!("horizon {} s must be positive", spec.horizon_s));
     }
     let threads = threads.max(1);
+    let prof_run = sdb_prof::scope(sdb_prof::Phase::ChaosRun);
     let next = AtomicUsize::new(0);
     let shards: Vec<Vec<ChaosOutcome>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|shard| {
                 let next = &next;
                 s.spawn(move || {
+                    sdb_prof::set_shard(shard as u16);
+                    let prof_cohort = sdb_prof::enabled().then(|| sdb_prof::cohort_id("chaos"));
                     let mut outcomes = Vec::with_capacity(spec.devices / threads + 1);
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= spec.devices {
                             break;
                         }
+                        let prof_dev = sdb_prof::device_scope(prof_cohort.unwrap_or(0));
                         outcomes.push(run_device(spec, i as u64, registry));
+                        drop(prof_dev);
                     }
                     outcomes
                 })
@@ -428,7 +433,12 @@ fn run_campaign_inner(
 
     let mut outcomes: Vec<ChaosOutcome> = shards.into_iter().flatten().collect();
     outcomes.sort_unstable_by_key(|o| o.device);
-    Ok(CampaignReport::from_outcomes(spec, outcomes))
+    let report = CampaignReport::from_outcomes(spec, outcomes);
+    drop(prof_run);
+    if sdb_prof::enabled() {
+        sdb_prof::flush_thread();
+    }
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -146,18 +146,27 @@ where
     let resampled = trace.resampled(opts.max_dt_s);
     'outer: for p in resampled.points() {
         let _span = obs.span(sdb_observe::SpanName::TraceStep);
+        // The scheduler step is the profiler's sampling gate: it advances
+        // the per-device tick, and the plan/tick sub-phases plus the
+        // nested micro step inherit its hot/cold decision.
+        let _prof = sdb_prof::step(sdb_prof::Phase::TraceStep);
         let input = PolicyInput::from_micro(micro)
             .with_load(p.load_w)
             .with_external(p.external_w);
         if let Some(policy) = policy.as_deref_mut() {
+            let _prof = sdb_prof::sub(sdb_prof::Phase::PolicyPlan);
             if let Some(plan) = policy.plan(elapsed, micro, &input) {
                 runtime.commit_plan(&plan);
             }
         }
-        // Runtime failures (hardware rejection) are fatal in simulation.
-        runtime
-            .tick(micro, &input, p.dur_s)
-            .expect("runtime push rejected by emulated hardware");
+        {
+            // Runtime failures (hardware rejection) are fatal in
+            // simulation.
+            let _prof = sdb_prof::sub(sdb_prof::Phase::RuntimeTick);
+            runtime
+                .tick(micro, &input, p.dur_s)
+                .expect("runtime push rejected by emulated hardware");
+        }
         let report = micro.step(p.load_w, p.external_w, p.dur_s);
         if let Some(policy) = policy.as_deref_mut() {
             policy.observe_step(elapsed + p.dur_s, p.dur_s, p.load_w);
@@ -278,23 +287,28 @@ where
     let resampled = trace.resampled(opts.sim.max_dt_s);
     'outer: for p in resampled.points() {
         let _span = obs.span(sdb_observe::SpanName::TraceStep);
+        let _prof = sdb_prof::step(sdb_prof::Phase::TraceStep);
         pre_step(elapsed, link);
-        // Drain whatever the link produced last step before deciding.
-        runtime.observe_responses(&link.take_responses());
-        let input = PolicyInput::from_micro(link.micro())
-            .with_load(p.load_w)
-            .with_external(p.external_w);
-        runtime
-            .tick(link, &input, p.dur_s)
-            .expect("link send is local and infallible");
-        runtime
-            .supervise(link, p.dur_s)
-            .expect("link send is local and infallible");
-        since_status_s += p.dur_s;
-        if since_status_s >= opts.status_period_s {
-            since_status_s = 0.0;
-            link.send(Command::QueryBatteryStatus);
-            runtime.note_command_sent();
+        {
+            // Link traffic: response drain, runtime tick + supervision
+            // over the lossy transport, and the status heartbeat.
+            let _prof = sdb_prof::sub(sdb_prof::Phase::LinkStep);
+            runtime.observe_responses(&link.take_responses());
+            let input = PolicyInput::from_micro(link.micro())
+                .with_load(p.load_w)
+                .with_external(p.external_w);
+            runtime
+                .tick(link, &input, p.dur_s)
+                .expect("link send is local and infallible");
+            runtime
+                .supervise(link, p.dur_s)
+                .expect("link send is local and infallible");
+            since_status_s += p.dur_s;
+            if since_status_s >= opts.status_period_s {
+                since_status_s = 0.0;
+                link.send(Command::QueryBatteryStatus);
+                runtime.note_command_sent();
+            }
         }
         let report = link.step(p.load_w, p.external_w, p.dur_s);
 

@@ -737,6 +737,12 @@ impl Microcontroller {
         );
         self.observer.set_clock(self.time_s);
         let _span = self.observer.span(SpanName::MicroStep);
+        // Sampling-gate profiling scope: counts every step, wall-clock
+        // times 1-in-N (inheriting the scheduler's gate when nested under
+        // a TraceStep). The `hot_sub` guards below are a single branch on
+        // cold steps, keeping profiler overhead within the ≤5 % budget
+        // the micro-step bench asserts.
+        let prof_step = sdb_prof::step(sdb_prof::Phase::MicroStep);
 
         let n = self.cells.len();
         // Move the scratch buffers out of `self` (a take of empty vectors,
@@ -775,6 +781,7 @@ impl Microcontroller {
 
         // 2. Battery discharge for the remaining load.
         if battery_load_w > 0.0 {
+            let prof_curve = prof_step.hot_sub(sdb_prof::Phase::CurveEval);
             // Mean loaded terminal voltage across non-empty cells (for the
             // circuit loss estimate), reusing the voltages just computed
             // into `info` — nothing has mutated the cells since, so this
@@ -815,6 +822,8 @@ impl Microcontroller {
                 self.cells[i].plan_discharge_cap_w(dt_s)
             }));
             let p_max = &scratch.p_max;
+            drop(prof_curve);
+            let prof_rc = prof_step.hot_sub(sdb_prof::Phase::RcState);
 
             scratch.alloc.clear();
             scratch.alloc.resize(n, 0.0);
@@ -919,8 +928,10 @@ impl Microcontroller {
             let served_load = (served - actual_loss).max(0.0);
             supplied_w += served_load;
             unmet_w += battery_load_w - served_load;
+            drop(prof_rc);
         }
 
+        let prof_xfer = prof_step.hot_sub(sdb_prof::Phase::ChargeTransfer);
         // 3. Surplus external power charges batteries per charge ratios.
         if surplus_external_w > 0.0 {
             for i in 0..n {
@@ -1023,6 +1034,7 @@ impl Microcontroller {
                 self.transfer = Some(t);
             }
         }
+        drop(prof_xfer);
 
         // Flush the events staged during phases 1–4 in one batch (one sink
         // lock per step instead of one per slot), in stage order and with
@@ -1030,17 +1042,21 @@ impl Microcontroller {
         // sample: gauges emit recalibration events directly, and the trace
         // byte-order must match per-slot emission.
         if !scratch.events.is_empty() {
+            let _prof_emit = prof_step.hot_sub(sdb_prof::Phase::ObserverEmit);
             self.observer.emit_staged(&mut scratch.events);
         }
 
         // 5. Idle cells relax; gauges sample every cell.
-        for i in 0..n {
-            if info[i].current_a == 0.0 {
-                self.cells[i].rest(dt_s);
-                info[i].terminal_v = self.cells[i].terminal_voltage(0.0);
-                info[i].soc = self.cells[i].soc();
+        {
+            let _prof_gauge = prof_step.hot_sub(sdb_prof::Phase::GaugeUpdate);
+            for i in 0..n {
+                if info[i].current_a == 0.0 {
+                    self.cells[i].rest(dt_s);
+                    info[i].terminal_v = self.cells[i].terminal_voltage(0.0);
+                    info[i].soc = self.cells[i].soc();
+                }
+                self.gauges[i].sample(info[i].terminal_v, info[i].current_a, dt_s);
             }
-            self.gauges[i].sample(info[i].terminal_v, info[i].current_a, dt_s);
         }
 
         self.time_s += dt_s;
@@ -1060,6 +1076,7 @@ impl Microcontroller {
             }
         }
         if self.observer.wants_events() {
+            let _prof_emit = prof_step.hot_sub(sdb_prof::Phase::ObserverEmit);
             self.observer.emit_at(
                 self.time_s,
                 ObsEvent::StepSample {

@@ -243,6 +243,10 @@ fn run_fleet_inner(
     spec.validate()?;
     let threads = threads.max(1);
     let start = Instant::now();
+    // Main-thread orchestration scope; worker device trees flush into the
+    // same global aggregate as sibling roots (device work is parallel to
+    // the orchestrator, not "inside" its wall time).
+    let prof_run = sdb_prof::scope(sdb_prof::Phase::FleetRun);
     let next = AtomicUsize::new(0);
 
     type Shard = (
@@ -253,9 +257,13 @@ fn run_fleet_inner(
     );
     let shards: Vec<Shard> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|shard| {
                 let next = &next;
                 s.spawn(move || {
+                    // Shard attribution is wall-clock-quarantined: the
+                    // shard → device assignment depends on the thread
+                    // count and scheduling.
+                    sdb_prof::set_shard(shard as u16);
                     let obs = match live {
                         Some(registry) => Observer::with_registry(registry.clone()),
                         None => Observer::new(),
@@ -289,7 +297,18 @@ fn run_fleet_inner(
                         // shard layout and break trace determinism.
                         obs.set_clock(0.0);
                         let span = obs.span(SpanName::FleetDevice);
+                        // The device scope resets the sampling gate (hot
+                        // ticks are a function of the device, not the
+                        // worker) and flushes this device's phase tree on
+                        // drop, tagged with shard + cohort.
+                        let prof_dev = if sdb_prof::enabled() {
+                            let name = &spec.cohorts[spec.cohort_of(i as u64)].name;
+                            sdb_prof::device_scope(sdb_prof::cohort_id(name))
+                        } else {
+                            sdb_prof::device_scope(0)
+                        };
                         let outcome = run_device(spec, i as u64, &obs);
+                        drop(prof_dev);
                         drop(span);
                         sketches.observe(&outcome);
                         outcomes.push(outcome);
@@ -309,6 +328,7 @@ fn run_fleet_inner(
     // Deterministic merge: shard order and shard contents depend on
     // scheduling, so re-establish device order before any aggregation.
     // Sketches merge commutatively, so shard order is irrelevant there.
+    let prof_merge = sdb_prof::scope(sdb_prof::Phase::ReportMerge);
     let mut outcomes: Vec<DeviceOutcome> = Vec::with_capacity(spec.devices);
     // In live mode every shard already wrote into the shared registry, so
     // "merging" it per shard would double-count; just adopt the handle.
@@ -337,6 +357,11 @@ fn run_fleet_inner(
     }
 
     let report = FleetReport::from_outcomes(spec, &outcomes, &merged);
+    drop(prof_merge);
+    drop(prof_run);
+    if sdb_prof::enabled() {
+        sdb_prof::flush_thread();
+    }
     let wall_s = start.elapsed().as_secs_f64();
     let stats = FleetRunStats {
         threads,

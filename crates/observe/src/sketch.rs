@@ -144,6 +144,29 @@ impl QuantileSketch {
         2.0 * (f64::from(key) * self.ln_gamma).exp() / (gamma + 1.0)
     }
 
+    /// Pre-registers every positive bucket covering `[lo, hi]` with a zero
+    /// count. After prewarming, an `insert` of any value clamped into
+    /// `[lo, hi]` hits an existing `BTreeMap` node and is guaranteed not
+    /// to allocate — the property the `sdb-prof` hot path relies on to
+    /// stay allocation-free under the counting allocator.
+    ///
+    /// Zero-count buckets are invisible to quantile reads and merges add
+    /// them harmlessly, so prewarming never changes an estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo <= hi` and both are finite.
+    pub fn prewarm(&mut self, lo: f64, hi: f64) {
+        assert!(
+            lo > 0.0 && hi >= lo && hi.is_finite(),
+            "prewarm range must satisfy 0 < lo <= hi < inf, got [{lo}, {hi}]"
+        );
+        let (klo, khi) = (self.key(lo), self.key(hi));
+        for k in klo..=khi {
+            self.pos.entry(k).or_insert(0);
+        }
+    }
+
     /// Records one observation. `NaN` is ignored; infinities saturate into
     /// the outermost buckets.
     pub fn insert(&mut self, v: f64) {
@@ -378,6 +401,44 @@ mod tests {
         }
         // Three decades of range at α=1 % is a few hundred buckets at most.
         assert!(sk.bucket_len() < 600, "buckets: {}", sk.bucket_len());
+    }
+
+    #[test]
+    fn prewarm_covers_clamped_inserts_without_new_buckets() {
+        let mut sk = QuantileSketch::with_accuracy(0.05);
+        sk.prewarm(1.0, 1e6);
+        let warmed = sk.bucket_len();
+        assert!(warmed > 0);
+        for i in 0..10_000u64 {
+            let v = (i as f64 * 733.17 + 0.003).clamp(1.0, 1e6);
+            sk.insert(v);
+        }
+        assert_eq!(
+            sk.bucket_len(),
+            warmed,
+            "clamped inserts must reuse prewarmed buckets"
+        );
+        assert_eq!(sk.count(), 10_000);
+        // Quantiles are unaffected by the zero-count buckets.
+        let q = sk.quantile(0.5);
+        assert!(q > 0.0 && q <= 1e6 * (1.0 + sk.alpha()));
+    }
+
+    #[test]
+    fn prewarmed_sketch_merges_like_a_plain_one() {
+        let mut warmed = QuantileSketch::with_accuracy(0.05);
+        warmed.prewarm(1.0, 1e4);
+        let mut plain = QuantileSketch::with_accuracy(0.05);
+        for i in 1..=500u64 {
+            warmed.insert(i as f64 * 3.3);
+            plain.insert(i as f64 * 3.3);
+        }
+        let mut merged = QuantileSketch::with_accuracy(0.05);
+        merged.merge_from(&warmed);
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile(q).to_bits(), plain.quantile(q).to_bits());
+        }
+        assert_eq!(merged.count(), plain.count());
     }
 
     #[test]

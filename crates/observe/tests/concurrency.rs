@@ -4,7 +4,7 @@
 //! fleet engine's determinism guarantees rest on.
 
 use sdb_observe::metrics::{Histogram, MetricsRegistry};
-use sdb_observe::QuantileSketch;
+use sdb_observe::{EventSink, FlightRecorder, Flow, ObsEvent, QuantileSketch};
 
 const THREADS: u64 = 8;
 const PER_THREAD: u64 = 5_000;
@@ -78,6 +78,47 @@ fn merged_shard_registries_account_for_every_observation() {
         lat.bucket_counts()
     );
     assert_eq!(reversed.to_prometheus_text(), merged.to_prometheus_text());
+}
+
+#[test]
+fn flight_recorder_overflow_accounting_is_exact_under_concurrent_writers() {
+    // Many writers hammering one shared ring: `sdb_dropped_events_total`
+    // must equal exactly total events minus capacity — every overwrite
+    // counted once, none double-counted, none lost — and must agree with
+    // the recorder's own `overwritten()` bookkeeping.
+    let capacity = 64;
+    let registry = MetricsRegistry::new();
+    let shared = FlightRecorder::shared_with_registry(capacity, &registry);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let shared = std::sync::Arc::clone(&shared);
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let event = ObsEvent::RatioPush {
+                        flow: Flow::Discharge,
+                        ratios: vec![t as f64, i as f64],
+                    };
+                    shared.lock().unwrap().record(i as f64, &event);
+                }
+            });
+        }
+    });
+    let total = THREADS * PER_THREAD;
+    let recorder = shared.lock().unwrap();
+    assert_eq!(recorder.total_recorded(), total);
+    assert_eq!(recorder.len(), capacity);
+    assert_eq!(recorder.overwritten(), total - capacity as u64);
+    let dropped = registry
+        .counter_totals()
+        .into_iter()
+        .find(|(name, _)| name == "sdb_dropped_events_total")
+        .expect("drop counter registered")
+        .1;
+    assert_eq!(
+        dropped,
+        total - capacity as u64,
+        "dropped-events counter must equal the exact overflow count"
+    );
 }
 
 #[test]

@@ -404,11 +404,16 @@ pub struct HeadToHead {
 /// Runs the whole corpus under all three policy modes.
 #[must_use]
 pub fn run_head_to_head(seed: u64) -> HeadToHead {
+    let prof_run = sdb_prof::scope(sdb_prof::Phase::PolicyRun);
     let mut rows = Vec::new();
     for s in corpus() {
         for mode in [PolicyMode::Greedy, PolicyMode::Planned, PolicyMode::Oracle] {
             rows.push(run_scenario(&s, mode, seed));
         }
+    }
+    drop(prof_run);
+    if sdb_prof::enabled() {
+        sdb_prof::flush_thread();
     }
     HeadToHead { seed, rows }
 }

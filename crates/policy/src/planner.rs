@@ -177,6 +177,10 @@ impl Planner {
     /// unobserved so planning leaves no trace in metrics or event
     /// streams.
     fn rollout(&self, micro: &sdb_emulator::Microcontroller, d: f64, forecast: &Trace) -> Score {
+        // Nested profiler scope: the rollout's own trace/micro steps land
+        // under planner_rollout in the phase tree, separated from the
+        // live simulation's steps.
+        let _prof = sdb_prof::sub(sdb_prof::Phase::PlannerRollout);
         let mut m = micro.clone();
         m.set_observer(Observer::disabled());
         let mut rt = SdbRuntime::new(m.battery_count());

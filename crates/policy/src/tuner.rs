@@ -102,7 +102,7 @@ mod tests {
             d < heavy,
             "bursty ({d}) should lean more CCB than sustained ({heavy})"
         );
-        assert!(d >= 0.2 && d <= 1.0);
+        assert!((0.2..=1.0).contains(&d));
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! The closed set of profiled phases.
+//!
+//! Phases are a fixed enum rather than free-form strings so the slot
+//! table can be preallocated, child lookup is an array index, and the
+//! rendered tree has a stable, deterministic order (enum order) at any
+//! thread count.
+
+/// One profiled phase of the stack. Enum order is render order.
+///
+/// The set spans every layer the profiler instruments: run drivers
+/// (`FleetRun`/`ChaosRun`/`PolicyRun`), per-device work (`DeviceRun`),
+/// the scheduler loop (`TraceStep` and its `PolicyPlan`/`RuntimeTick`/
+/// `LinkStep` sub-phases, plus `PlannerRollout` under the planner), the
+/// emulator hot loop (`MicroStep` and its five internal phases), and
+/// report assembly (`ReportMerge`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Phase {
+    /// A whole `run_fleet_*` invocation (main thread: orchestration).
+    FleetRun = 0,
+    /// A whole chaos campaign invocation.
+    ChaosRun = 1,
+    /// A whole policy corpus head-to-head invocation.
+    PolicyRun = 2,
+    /// One device's full simulation (worker thread).
+    DeviceRun = 3,
+    /// One resampled scheduler step (the sampling gate advances here).
+    TraceStep = 4,
+    /// Policy `plan()` + `commit_plan` inside a trace step.
+    PolicyPlan = 5,
+    /// One shooting-planner candidate rollout.
+    PlannerRollout = 6,
+    /// `SdbRuntime::tick` inside a trace step.
+    RuntimeTick = 7,
+    /// Link/heartbeat traffic in the linked scheduler driver.
+    LinkStep = 8,
+    /// One `Microcontroller::step` (gates itself when standalone).
+    MicroStep = 9,
+    /// OCV/DCIR curve evaluation + discharge capability planning.
+    CurveEval = 10,
+    /// Share allocation and RC-state discharge application.
+    RcState = 11,
+    /// Surplus charging + battery-to-battery transfer.
+    ChargeTransfer = 12,
+    /// Fuel-gauge sampling + rest bookkeeping.
+    GaugeUpdate = 13,
+    /// Staged observer event + step-sample emission.
+    ObserverEmit = 14,
+    /// Deterministic shard merge into the fleet report.
+    ReportMerge = 15,
+}
+
+/// Number of distinct phases (size of per-slot child tables).
+pub const PHASE_COUNT: usize = 16;
+
+/// Every phase in enum (render) order.
+pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
+    Phase::FleetRun,
+    Phase::ChaosRun,
+    Phase::PolicyRun,
+    Phase::DeviceRun,
+    Phase::TraceStep,
+    Phase::PolicyPlan,
+    Phase::PlannerRollout,
+    Phase::RuntimeTick,
+    Phase::LinkStep,
+    Phase::MicroStep,
+    Phase::CurveEval,
+    Phase::RcState,
+    Phase::ChargeTransfer,
+    Phase::GaugeUpdate,
+    Phase::ObserverEmit,
+    Phase::ReportMerge,
+];
+
+impl Phase {
+    /// Stable snake_case name used in every export surface (text tree,
+    /// JSON, collapsed flamegraph stacks, `sdb_prof_*` gauge labels,
+    /// and `sdb perf` phase-share metric keys).
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::FleetRun => "fleet_run",
+            Phase::ChaosRun => "chaos_run",
+            Phase::PolicyRun => "policy_run",
+            Phase::DeviceRun => "device_run",
+            Phase::TraceStep => "trace_step",
+            Phase::PolicyPlan => "policy_plan",
+            Phase::PlannerRollout => "planner_rollout",
+            Phase::RuntimeTick => "runtime_tick",
+            Phase::LinkStep => "link_step",
+            Phase::MicroStep => "micro_step",
+            Phase::CurveEval => "curve_eval",
+            Phase::RcState => "rc_state",
+            Phase::ChargeTransfer => "charge_transfer",
+            Phase::GaugeUpdate => "gauge_update",
+            Phase::ObserverEmit => "observer_emit",
+            Phase::ReportMerge => "report_merge",
+        }
+    }
+
+    pub(crate) fn from_index(i: usize) -> Phase {
+        ALL_PHASES[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_indices_are_dense_and_names_unique() {
+        let mut names = std::collections::BTreeSet::new();
+        for (i, p) in ALL_PHASES.iter().enumerate() {
+            assert_eq!(*p as usize, i, "discriminants must match array order");
+            assert!(names.insert(p.name()), "duplicate name {}", p.name());
+        }
+        assert_eq!(names.len(), PHASE_COUNT);
+    }
+}

@@ -82,6 +82,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as an object map (keys sorted), if an object.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Value>> {
+        match self {
+            Value::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
 }
 
 /// Parses one JSON document.

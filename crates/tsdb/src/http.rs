@@ -7,7 +7,9 @@
 //!   [`MetricsRegistry`].
 //! * `GET /query?name=..&kind=..` — JSON query against the attached
 //!   [`TsdbStore`] (see [`parse_query`] for parameters).
-//! * `GET /healthz` — liveness probe, `ok`.
+//! * `GET /profile` — live hierarchical phase-profiler snapshot (JSON,
+//!   see `sdb_prof::Snapshot::to_json`).
+//! * `GET /healthz` — liveness probe: JSON status plus build info.
 //! * `GET /shutdown` — graceful stop: the accept loop drains in-flight
 //!   connections and exits.
 //!
@@ -37,6 +39,46 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// How long shutdown waits for in-flight connections to drain.
 const DRAIN_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// Build identity reported by `/healthz` (and `sdb --version`). The CLI
+/// fills these from compile-time env vars; library users default to
+/// `unknown`.
+#[derive(Debug, Clone)]
+pub struct BuildInfo {
+    /// Crate version (`CARGO_PKG_VERSION`).
+    pub version: String,
+    /// Short git commit hash the binary was built from.
+    pub git_hash: String,
+    /// `rustc --version` string of the compiler used.
+    pub rustc: String,
+}
+
+impl Default for BuildInfo {
+    fn default() -> Self {
+        Self {
+            version: "unknown".to_owned(),
+            git_hash: "unknown".to_owned(),
+            rustc: "unknown".to_owned(),
+        }
+    }
+}
+
+impl BuildInfo {
+    /// The `/healthz` JSON body for this build.
+    #[must_use]
+    pub fn healthz_json(&self) -> String {
+        format!(
+            "{{\"status\":\"ok\",\"version\":\"{}\",\"git_hash\":\"{}\",\"rustc\":\"{}\"}}\n",
+            escape_json(&self.version),
+            escape_json(&self.git_hash),
+            escape_json(&self.rustc)
+        )
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Options for [`serve`].
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -47,6 +89,8 @@ pub struct ServeOptions {
     /// stamps are quarantined: they exist only inside this serve
     /// session's store, never in a deterministic artifact.
     pub scrape_every: Option<Duration>,
+    /// Build identity served on `/healthz`.
+    pub build: BuildInfo,
 }
 
 impl Default for ServeOptions {
@@ -54,6 +98,7 @@ impl Default for ServeOptions {
         Self {
             addr: "127.0.0.1:0".to_owned(),
             scrape_every: None,
+            build: BuildInfo::default(),
         }
     }
 }
@@ -130,6 +175,11 @@ pub fn serve(
         thread::spawn(move || {
             let start = Instant::now();
             while !stop.load(Ordering::SeqCst) {
+                // Refresh sdb_prof_* gauges from the live profiler
+                // aggregate so each scrape below carries them.
+                if sdb_prof::enabled() {
+                    sdb_prof::export_gauges(&registry);
+                }
                 // Wall-clock-since-start stamp: quarantined to this store.
                 let t_us = i64::try_from(start.elapsed().as_micros()).unwrap_or(i64::MAX);
                 scraper.scrape(&registry, t_us);
@@ -146,8 +196,9 @@ pub fn serve(
 
     let accept_thread = {
         let stop = Arc::clone(&stop);
+        let build = opts.build.clone();
         thread::spawn(move || {
-            accept_loop(&listener, &stop, &in_flight, &registry, &store);
+            accept_loop(&listener, &stop, &in_flight, &registry, &store, &build);
         })
     };
 
@@ -165,6 +216,7 @@ fn accept_loop(
     in_flight: &Arc<AtomicUsize>,
     registry: &MetricsRegistry,
     store: &TsdbStore,
+    build: &BuildInfo,
 ) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
@@ -174,8 +226,9 @@ fn accept_loop(
                 let stop = Arc::clone(stop);
                 let registry = registry.clone();
                 let store = store.clone();
+                let build = build.clone();
                 thread::spawn(move || {
-                    handle_connection(stream, &stop, &registry, &store);
+                    handle_connection(stream, &stop, &registry, &store, &build);
                     in_flight.fetch_sub(1, Ordering::SeqCst);
                 });
             }
@@ -197,6 +250,7 @@ fn handle_connection(
     stop: &AtomicBool,
     registry: &MetricsRegistry,
     store: &TsdbStore,
+    build: &BuildInfo,
 ) {
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let head = match read_head(&mut stream) {
@@ -206,7 +260,7 @@ fn handle_connection(
             return;
         }
     };
-    let (status, content_type, body) = route(&head, stop, registry, store);
+    let (status, content_type, body) = route(&head, stop, registry, store, build);
     respond(&mut stream, status, content_type, &body);
 }
 
@@ -239,6 +293,7 @@ fn route(
     stop: &AtomicBool,
     registry: &MetricsRegistry,
     store: &TsdbStore,
+    build: &BuildInfo,
 ) -> (u16, &'static str, String) {
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
@@ -256,12 +311,13 @@ fn route(
         None => (target, ""),
     };
     match path {
-        "/healthz" => (200, "text/plain", "ok\n".to_owned()),
+        "/healthz" => (200, "application/json", build.healthz_json()),
         "/metrics" => (
             200,
             "text/plain; version=0.0.4",
             registry.to_prometheus_text(),
         ),
+        "/profile" => (200, "application/json", sdb_prof::snapshot().to_json()),
         "/query" => match parse_query(query_string) {
             Ok(q) => (200, "application/json", query::run(store, &q).to_json()),
             Err(e) => (400, "text/plain", format!("bad query: {e}\n")),
@@ -438,7 +494,26 @@ mod tests {
         );
 
         let (status, body) = get(handle.addr(), "/healthz");
-        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        assert_eq!(status, 200);
+        let health = sdb_trace::json::parse(body.trim()).expect("healthz is json");
+        assert_eq!(
+            health.get("status").and_then(|v| v.as_str()),
+            Some("ok"),
+            "healthz body: {body}"
+        );
+        assert_eq!(
+            health.get("git_hash").and_then(|v| v.as_str()),
+            Some("unknown"),
+            "library default build info"
+        );
+
+        let (status, body) = get(handle.addr(), "/profile");
+        assert_eq!(status, 200);
+        let prof = sdb_trace::json::parse(&body).expect("profile is json");
+        assert!(
+            prof.get("deterministic").is_some() && prof.get("wall").is_some(),
+            "profile body: {body}"
+        );
 
         let (status, body) = get(handle.addr(), "/metrics");
         assert_eq!(status, 200);

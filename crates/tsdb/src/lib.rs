@@ -40,7 +40,7 @@ pub mod query;
 pub mod sink;
 pub mod store;
 
-pub use http::{serve, ServeHandle, ServeOptions};
+pub use http::{serve, BuildInfo, ServeHandle, ServeOptions};
 pub use query::{Query, QueryKind, QueryResult};
 pub use sink::{ingest_events, RegistryScraper, TelemetrySink, TELEMETRY_MANTISSA_BITS};
 pub use store::{

@@ -116,6 +116,30 @@ pub fn ingest(text: &str) -> Result<Vec<PerfMetric>, String> {
                     direction: Direction::LowerIsBetter,
                 });
             }
+            // Optional: the profiler-overhead pair (older artifacts won't
+            // carry it). Phase shares gate each instrumented sub-phase's
+            // fraction of micro-step time, so a single phase regressing
+            // trips the gate even when the total ns/step stays flat.
+            if let Some(prof) = doc.get("prof") {
+                if let Some(pct) = prof.get("overhead_pct").and_then(Value::as_f64) {
+                    out.push(PerfMetric {
+                        key: "micro_step.prof.overhead_pct".to_owned(),
+                        value: pct,
+                        direction: Direction::LowerIsBetter,
+                    });
+                }
+                if let Some(shares) = prof.get("phase_share").and_then(Value::as_obj) {
+                    for (phase, v) in shares {
+                        if let Some(pct) = v.as_f64() {
+                            out.push(PerfMetric {
+                                key: format!("micro_step.phase_share.{phase}"),
+                                value: pct,
+                                direction: Direction::LowerIsBetter,
+                            });
+                        }
+                    }
+                }
+            }
             Ok(out)
         }
         "fleet_scaling" => {
@@ -392,6 +416,58 @@ mod tests {
         assert_eq!(pp.direction, Direction::LowerIsBetter);
         // Absent from older artifacts → simply not emitted.
         assert_eq!(ingest(MICRO).expect("parses").len(), 3);
+    }
+
+    #[test]
+    fn ingest_picks_up_prof_overhead_and_phase_shares() {
+        let merged = MICRO.replace(
+            ",\"host_cpus\"",
+            ",\"prof\":{\"pack\":8,\"sample_every\":128,\"overhead_pct\":1.9,\
+             \"profiled_allocs_per_step\":0.0,\"phase_share\":{\"curve_eval\":1.5,\
+             \"observer_emit\":3.0}},\"host_cpus\"",
+        );
+        let metrics = ingest(&merged).expect("merged micro parses");
+        let overhead = metrics
+            .iter()
+            .find(|m| m.key == "micro_step.prof.overhead_pct")
+            .expect("overhead ingested");
+        assert_eq!(overhead.value, 1.9);
+        assert_eq!(overhead.direction, Direction::LowerIsBetter);
+        let emit = metrics
+            .iter()
+            .find(|m| m.key == "micro_step.phase_share.observer_emit")
+            .expect("phase share ingested");
+        assert_eq!(emit.value, 3.0);
+        assert_eq!(emit.direction, Direction::LowerIsBetter);
+        // Absent from older artifacts → simply not emitted.
+        assert!(!ingest(MICRO)
+            .expect("parses")
+            .iter()
+            .any(|m| m.key.starts_with("micro_step.prof")));
+    }
+
+    #[test]
+    fn phase_share_regression_trips_the_gate_when_totals_stay_flat() {
+        // Baseline: observer emit at 3% of sampled step self-time, total
+        // ns/step 240. Current: emit ballooned 1.5x to 4.5% while the
+        // total stayed flat — the per-phase metric must trip the gate on
+        // its own.
+        let share = |v: f64| PerfMetric {
+            key: "micro_step.phase_share.observer_emit".to_owned(),
+            value: v,
+            direction: Direction::LowerIsBetter,
+        };
+        let total = |v: f64| PerfMetric {
+            key: "micro_step.b8.ns_per_step".to_owned(),
+            value: v,
+            direction: Direction::LowerIsBetter,
+        };
+        let history = vec![entry(1, vec![total(240.0), share(3.0)])];
+        let current = vec![total(240.0), share(4.5)];
+        let regs = check(&history, &current, Baseline::Best, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "micro_step.phase_share.observer_emit");
+        assert!((regs[0].worse_by - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -9,17 +9,22 @@
 //! sdb status --pack phone [--soc <0..1>]     show QueryBatteryStatus + ACPI view
 //! sdb fleet  --devices 10000 --threads 8 --seed 42 [--hours H] [--policy greedy|planned|oracle] [--json] [--metrics-out <path>]
 //!            [--events-out <jsonl>] [--trace-out <jsonl>]   (trace-out also writes a Perfetto-loadable .chrome.json)
-//! sdb policy [--seed N] [--json] [--out <path>]  greedy vs planner vs oracle head-to-head over the scenario corpus
+//! sdb policy [--seed N] [--json] [--out <path>] [--metrics-out <path>]  greedy vs planner vs oracle head-to-head over the scenario corpus
 //! sdb analyze --trace <jsonl> [--json]       replay a recorded trace through the health rules
 //! sdb analyze --devices 200 --seed 42 [--hours H] [--threads N] [--json]   run a fleet inline and analyze it
 //! sdb chaos  --devices 200 --seed 42 [--intensity 0.7] [--hours H] [--load W] [--threads N] [--json] [--out <path>] [--metrics-out <path>]
 //!            run a fault-injection campaign; exits non-zero on any invariant violation
 //! sdb serve  [--addr 127.0.0.1:0] [--telemetry] [--policy greedy|planned|oracle] [--devices N] [--seed N] [--hours H] [--threads N] [--scrape-ms 250]
-//!            HTTP surface: /metrics (Prometheus), /query (JSON), /healthz, /shutdown;
+//!            HTTP surface: /metrics (Prometheus), /query (JSON), /profile (live phase tree), /healthz, /shutdown;
 //!            --telemetry runs a fleet in the background with live counters + stored series
+//! sdb profile [--scenario fleet|sim|chaos|policy] [--devices N] [--threads N] [--seed N] [--hours H] [--policy ...]
+//!            [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]
+//!            run a scenario under the phase profiler and print the hierarchical phase tree
+//!            (counts are bit-identical across thread counts; `flame` emits collapsed stacks)
 //! sdb perf   [--history PERF_HISTORY.jsonl] [--micro BENCH_micro.json] [--fleet BENCH_fleet.json]
 //!            [--baseline last|best] [--threshold 0.10] [--record] [--label <text>] [--inject <factor>]
 //!            compare bench results against recorded history; exits non-zero on regression
+//! sdb --version                              print version, git hash, and rustc used
 //! ```
 
 use sdb::battery_model::{library, BatterySpec, Chemistry};
@@ -185,7 +190,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>|planned|oracle] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--policy greedy|planned|oracle] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]
-  sdb policy [--seed <N>] [--json] [--out <path>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--policy greedy|planned|oracle] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]"
+  sdb policy [--seed <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--policy greedy|planned|oracle] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb profile [--scenario fleet|sim|chaos|policy] [--devices <N>] [--threads <N>] [--seed <N>] [--hours <H>] [--policy ...] [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]\n  sdb --version"
     );
     ExitCode::FAILURE
 }
@@ -205,6 +210,16 @@ fn write_metrics(registry: &MetricsRegistry, path: &str) -> Result<(), ()> {
     }
     eprintln!("wrote metrics to {path}");
     Ok(())
+}
+
+/// Build identity baked in at compile time by `build.rs` (each field
+/// falls back to `unknown` when the probe failed at build time).
+fn build_info() -> tsdb::BuildInfo {
+    tsdb::BuildInfo {
+        version: env!("CARGO_PKG_VERSION").to_owned(),
+        git_hash: env!("SDB_GIT_HASH").to_owned(),
+        rustc: env!("SDB_RUSTC_VERSION").to_owned(),
+    }
 }
 
 /// Derives the Chrome-export path from a JSONL trace path:
@@ -775,9 +790,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> ExitCode {
         .unwrap_or(250);
     let registry = MetricsRegistry::new();
     let store = tsdb::TsdbStore::default();
+    // The profiler stays on for the whole serve session so `/profile`
+    // serves a live tree and the scraper exports `sdb_prof_*` gauges.
+    sdb::prof::enable();
     let opts = tsdb::ServeOptions {
         addr,
         scrape_every: Some(std::time::Duration::from_millis(scrape_ms.max(10))),
+        build: build_info(),
     };
     let handle = match tsdb::serve(&opts, registry.clone(), store.clone()) {
         Ok(h) => h,
@@ -974,6 +993,40 @@ fn cmd_perf(flags: &HashMap<String, String>) -> ExitCode {
 fn cmd_policy(flags: &HashMap<String, String>) -> ExitCode {
     let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
     let h2h = sdb::policy::run_head_to_head(seed);
+    // --metrics-out parity with fleet/chaos/analyze: synthesize a
+    // registry from the head-to-head outcomes so CI can scrape the
+    // corpus results like any other run.
+    if let Some(path) = flags.get("metrics-out") {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter("sdb_policy_planner_wins_total", &[])
+            .add(h2h.planner_wins() as u64);
+        registry
+            .counter("sdb_policy_oracle_bounds_total", &[])
+            .add(h2h.oracle_bounds() as u64);
+        registry
+            .counter("sdb_policy_scenarios_total", &[])
+            .add((h2h.rows.len() / 3) as u64);
+        for row in &h2h.rows {
+            let labels = [("scenario", row.scenario), ("policy", row.policy.name())];
+            registry.gauge("sdb_policy_life_s", &labels).set(row.life_s);
+            registry
+                .gauge("sdb_policy_unmet_j", &labels)
+                .set(row.unmet_j);
+            registry
+                .gauge("sdb_policy_forecast_mae_w", &labels)
+                .set(row.forecast_mae_w);
+            registry
+                .counter("sdb_policy_pushes_total", &labels)
+                .add(row.pushes);
+            registry
+                .counter("sdb_policy_replans_total", &labels)
+                .add(row.replans);
+        }
+        if write_metrics(&registry, path).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
     let text = if flags.contains_key("json") {
         let mut json = h2h.to_json();
         json.push('\n');
@@ -993,8 +1046,171 @@ fn cmd_policy(flags: &HashMap<String, String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Runs one scenario under the phase profiler and renders the
+/// hierarchical phase tree. Call counts (and the tree shape) are
+/// deterministic — bit-identical for any `--threads` — while ns timings
+/// are sampled wall-clock facts quarantined in a separate section.
+/// `--format counts` prints only the deterministic section (CI compares
+/// it byte-for-byte across thread counts); `--format flame` emits
+/// collapsed stacks valued by deterministic call counts.
+fn cmd_profile(flags: &HashMap<String, String>) -> ExitCode {
+    let scenario = flags.get("scenario").map(String::as_str).unwrap_or("fleet");
+    let devices: usize = flags
+        .get("devices")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64);
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+    let seed: u64 = flags.get("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let hours: f64 = flags
+        .get("hours")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4.0);
+
+    sdb::prof::reset();
+    sdb::prof::enable();
+    match scenario {
+        "fleet" => {
+            let mut spec = fleet::FleetSpec::default_population(devices, seed).with_hours(hours);
+            match flags.get("policy").map(String::as_str) {
+                None | Some("greedy") => {}
+                Some("planned") => {
+                    spec = spec.with_policy(fleet::PolicySpec::Planned {
+                        horizon_s: 8.0 * 3600.0,
+                        replan_s: 1800.0,
+                    });
+                }
+                Some("oracle") => {
+                    spec = spec.with_policy(fleet::PolicySpec::Oracle);
+                }
+                Some(other) => {
+                    eprintln!(
+                        "unknown fleet policy `{other}` (expected greedy, planned, or oracle)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            match fleet::run_fleet(&spec, threads) {
+                Ok((report, stats)) => eprintln!(
+                    "profiled fleet: {} devices, {} threads, {:.2} s wall",
+                    report.devices, stats.threads, stats.wall_s
+                ),
+                Err(e) => {
+                    eprintln!("fleet run failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "sim" => {
+            let pack_name = flags.get("pack").map(String::as_str).unwrap_or("watch");
+            let Some(mut micro) = build_pack(pack_name, 1.0) else {
+                eprintln!("unknown pack `{pack_name}` (try `sdb packs`)");
+                return ExitCode::FAILURE;
+            };
+            let trace_name = flags
+                .get("trace")
+                .map(String::as_str)
+                .unwrap_or("watch-day");
+            let Some(trace) = build_trace(trace_name, seed) else {
+                eprintln!("unknown trace `{trace_name}` (try `sdb traces`)");
+                return ExitCode::FAILURE;
+            };
+            let mut runtime = SdbRuntime::new(micro.battery_count());
+            runtime.set_discharge_directive(DischargeDirective::new(1.0));
+            let result = run_trace(&mut micro, &mut runtime, &trace, &SimOptions::default());
+            eprintln!(
+                "profiled sim: {pack_name} x {trace_name}, {:.1} h simulated",
+                result.simulated_s / 3600.0
+            );
+        }
+        "chaos" => {
+            let spec = sdb::chaos::CampaignSpec {
+                devices,
+                master_seed: seed,
+                horizon_s: hours * 3600.0,
+                ..Default::default()
+            };
+            match sdb::chaos::run_campaign(&spec, threads) {
+                Ok(report) => eprintln!(
+                    "profiled chaos: {} devices, {} violations",
+                    report.devices, report.total_violations
+                ),
+                Err(e) => {
+                    eprintln!("chaos campaign failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        "policy" => {
+            let h2h = sdb::policy::run_head_to_head(seed);
+            eprintln!(
+                "profiled policy corpus: {} runs, planner wins {}",
+                h2h.rows.len(),
+                h2h.planner_wins()
+            );
+        }
+        other => {
+            eprintln!("unknown scenario `{other}` (expected fleet, sim, chaos, or policy)");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Scenario runners flush their own worker threads; this picks up
+    // whatever the main thread recorded (e.g. the whole sim scenario).
+    sdb::prof::flush_thread();
+    sdb::prof::disable();
+    let snap = sdb::prof::snapshot();
+
+    if let Some(path) = flags.get("metrics-out") {
+        let registry = MetricsRegistry::new();
+        sdb::prof::export_gauges(&registry);
+        if write_metrics(&registry, path).is_err() {
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let body = match flags.get("format").map(String::as_str) {
+        None | Some("text") => snap.render_text(),
+        Some("counts") => snap.render_counts(),
+        Some("json") => {
+            let mut s = snap.to_json();
+            s.push('\n');
+            s
+        }
+        Some("flame") => snap.render_flame(),
+        Some(other) => {
+            eprintln!("unknown format `{other}` (expected text, counts, json, or flame)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("failed to write profile to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote profile to {path}");
+    } else {
+        emit(&body);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if matches!(
+        args.first().map(String::as_str),
+        Some("--version" | "-V" | "version")
+    ) {
+        let b = build_info();
+        emit(&format!(
+            "sdb {} ({}; {})\n",
+            b.version, b.git_hash, b.rustc
+        ));
+        return ExitCode::SUCCESS;
+    }
     let flags = parse_flags(&args[1.min(args.len())..]);
     match args.first().map(String::as_str) {
         Some("packs") => {
@@ -1020,6 +1236,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&flags),
         Some("chaos") => cmd_chaos(&flags),
         Some("serve") => cmd_serve(&flags),
+        Some("profile") => cmd_profile(&flags),
         Some("perf") => cmd_perf(&flags),
         Some("policy") => cmd_policy(&flags),
         _ => usage(),

@@ -36,6 +36,10 @@
 //!   the behavior models, a receding-horizon directive planner, the
 //!   perfect-forecast oracle upper bound, and the greedy / planned /
 //!   oracle head-to-head corpus behind `sdb policy`.
+//! * [`prof`] — the always-on hierarchical phase profiler: scoped timers
+//!   into a preallocated slot table, deterministic call counts
+//!   quarantined from sampled wall-clock facts, per-shard and per-cohort
+//!   attribution, and the renderers behind `sdb profile` / `/profile`.
 //!
 //! ## Quickstart
 //!
@@ -80,6 +84,7 @@ pub use sdb_fuel_gauge as fuel_gauge;
 pub use sdb_observe as observe;
 pub use sdb_policy as policy;
 pub use sdb_power_electronics as power_electronics;
+pub use sdb_prof as prof;
 pub use sdb_trace as trace;
 pub use sdb_tsdb as tsdb;
 pub use sdb_workloads as workloads;

@@ -1,0 +1,81 @@
+//! Integration tests of the phase profiler's determinism quarantine:
+//! call counts, tree shape, and per-cohort attribution must be
+//! byte-identical at any thread count, and enabling the profiler must
+//! not perturb the fleet engine's own bit-identical reports.
+//!
+//! The profiler aggregate is process-global, so every test here
+//! serializes on one lock and resets the aggregate around its runs.
+
+use sdb::fleet::{run_fleet, FleetReport, FleetSpec};
+use std::sync::Mutex;
+
+static PROF_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs a profiled fleet and returns the deterministic renders plus the
+/// fleet report (the profiler is disabled and reset again afterwards).
+fn profiled_fleet_with(spec: &FleetSpec, threads: usize) -> (String, String, String, FleetReport) {
+    sdb::prof::reset();
+    sdb::prof::enable();
+    let (report, _stats) = run_fleet(spec, threads).expect("fleet runs");
+    sdb::prof::flush_thread();
+    sdb::prof::disable();
+    let snap = sdb::prof::snapshot();
+    let out = (
+        snap.render_counts(),
+        snap.render_flame(),
+        snap.to_json(),
+        report,
+    );
+    sdb::prof::reset();
+    out
+}
+
+fn profiled_fleet(devices: usize, threads: usize) -> (String, String, String, FleetReport) {
+    let spec = FleetSpec::default_population(devices, 42).with_hours(2.0);
+    profiled_fleet_with(&spec, threads)
+}
+
+#[test]
+fn profile_counts_are_byte_identical_across_thread_counts() {
+    let _guard = PROF_LOCK.lock().unwrap();
+    let (counts1, flame1, json1, report1) = profiled_fleet(64, 1);
+    let (counts4, flame4, json4, report4) = profiled_fleet(64, 4);
+
+    assert_eq!(counts1, counts4, "deterministic count render diverged");
+    assert_eq!(flame1, flame4, "collapsed-stack render diverged");
+    // The JSON's `deterministic` section must match too; `wall` holds
+    // quarantined timings and may differ. Compare the sections directly.
+    let det = |json: &str| {
+        let v = sdb::trace::json::parse(json).expect("profile json parses");
+        format!(
+            "{:?}",
+            v.get("deterministic").expect("deterministic section")
+        )
+    };
+    assert_eq!(det(&json1), det(&json4), "deterministic JSON diverged");
+    // And the fleet's own determinism guarantee holds with the profiler
+    // in the loop.
+    assert_eq!(report1, report4, "profiling perturbed the fleet report");
+
+    // Sanity on content: the tree carries the hot phases and per-cohort
+    // sections the renderers promise.
+    for phase in ["fleet_run", "device_run", "micro_step", "curve_eval"] {
+        assert!(counts1.contains(phase), "missing phase {phase}:\n{counts1}");
+    }
+    assert!(counts1.contains("cohort "), "missing cohort attribution");
+    assert!(
+        flame1.contains("device_run;trace_step;micro_step"),
+        "flame lost the stack hierarchy:\n{flame1}"
+    );
+}
+
+#[test]
+fn profiling_does_not_change_the_unprofiled_report() {
+    let _guard = PROF_LOCK.lock().unwrap();
+    sdb::prof::reset();
+    sdb::prof::disable();
+    let spec = FleetSpec::default_population(32, 7).with_hours(1.0);
+    let (plain, _) = run_fleet(&spec, 2).expect("fleet runs");
+    let (_, _, _, profiled) = profiled_fleet_with(&spec, 2);
+    assert_eq!(plain, profiled);
+}
