@@ -79,6 +79,18 @@ impl CycleCounter {
     pub fn progress(&self) -> f64 {
         self.cumulative_frac / CYCLE_CHARGE_THRESHOLD
     }
+
+    /// Raw counter state for snapshotting: `(cycles, cumulative_frac)`.
+    #[must_use]
+    pub fn export_state(&self) -> (u32, f64) {
+        (self.cycles, self.cumulative_frac)
+    }
+
+    /// Restores counter state captured by [`CycleCounter::export_state`].
+    pub fn import_state(&mut self, cycles: u32, cumulative_frac: f64) {
+        self.cycles = cycles;
+        self.cumulative_frac = cumulative_frac;
+    }
 }
 
 /// Per-cycle capacity-fade law: `loss(c) = base · (floor + (1−floor)·c^exp)`.
@@ -231,6 +243,48 @@ impl AgingState {
     pub fn cycle_progress(&self) -> f64 {
         self.counter.progress()
     }
+
+    /// Exports the full mutable aging state for bit-exact snapshotting.
+    /// The fade model is spec-derived configuration and is not included.
+    #[must_use]
+    pub fn export_state(&self) -> AgingStateSnapshot {
+        let (cycles, cumulative_frac) = self.counter.export_state();
+        AgingStateSnapshot {
+            cycles,
+            cumulative_frac,
+            capacity_fraction: self.capacity_fraction,
+            crate_accum: self.crate_accum,
+            crate_weight: self.crate_weight,
+        }
+    }
+
+    /// Restores state captured by [`AgingState::export_state`]. The cached
+    /// resistance multiplier is recomputed from the restored capacity
+    /// fraction — a pure function of it, so this is bit-identical to the
+    /// value cached at export time.
+    pub fn import_state(&mut self, snap: &AgingStateSnapshot) {
+        self.counter.import_state(snap.cycles, snap.cumulative_frac);
+        self.capacity_fraction = snap.capacity_fraction;
+        self.crate_accum = snap.crate_accum;
+        self.crate_weight = snap.crate_weight;
+        self.res_mult = resistance_multiplier_for(snap.capacity_fraction);
+    }
+}
+
+/// Plain-data capture of one cell's mutable aging state (see
+/// [`AgingState::export_state`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgingStateSnapshot {
+    /// Completed charge cycles.
+    pub cycles: u32,
+    /// Cumulative recharged fraction toward the next cycle.
+    pub cumulative_frac: f64,
+    /// Remaining capacity as a fraction of original.
+    pub capacity_fraction: f64,
+    /// Charge-weighted C-rate accumulator since the last cycle.
+    pub crate_accum: f64,
+    /// Charge weight accumulated into `crate_accum`.
+    pub crate_weight: f64,
 }
 
 #[cfg(test)]

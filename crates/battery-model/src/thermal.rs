@@ -68,6 +68,16 @@ impl ThermalModel {
         self.temperature_c
     }
 
+    /// Overwrites the temperature state (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite temperature.
+    pub fn set_temperature_c(&mut self, temperature_c: f64) {
+        assert!(temperature_c.is_finite(), "bad temperature {temperature_c}");
+        self.temperature_c = temperature_c;
+    }
+
     /// Advances the thermal state by `dt_s` seconds with `heat_w` watts of
     /// internal dissipation (exact exponential update, stable for any step).
     pub fn step(&mut self, heat_w: f64, dt_s: f64) {

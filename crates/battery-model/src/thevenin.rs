@@ -137,6 +137,55 @@ impl TheveninCell {
         self.thermal.as_ref().map(ThermalModel::temperature_c)
     }
 
+    /// Exports the cell's full mutable state for bit-exact snapshotting.
+    /// The spec (curve tables, ratings) is shared immutable configuration;
+    /// the curve cursors and the RC-α memo are value-neutral caches (equal
+    /// inputs give equal outputs regardless of cursor position) and are
+    /// not captured.
+    #[must_use]
+    pub fn export_state(&self) -> CellStateSnapshot {
+        CellStateSnapshot {
+            soc: self.soc,
+            v_rc: self.v_rc,
+            energy_out_j: self.energy_out_j,
+            energy_in_j: self.energy_in_j,
+            heat_j: self.heat_j,
+            fault_r_mult: self.fault_r_mult,
+            aging: self.aging.export_state(),
+            thermal: self.thermal,
+        }
+    }
+
+    /// Restores state captured by [`TheveninCell::export_state`]. The
+    /// restored cell is bit-identical in behavior to the exported one: the
+    /// memo caches left untouched re-key on first use.
+    pub fn import_state(&mut self, snap: &CellStateSnapshot) {
+        self.soc = snap.soc;
+        self.v_rc = snap.v_rc;
+        self.energy_out_j = snap.energy_out_j;
+        self.energy_in_j = snap.energy_in_j;
+        self.heat_j = snap.heat_j;
+        self.fault_r_mult = snap.fault_r_mult;
+        self.aging.import_state(&snap.aging);
+        self.thermal = snap.thermal;
+    }
+
+    /// The memoized RC relaxation factor `exp(-dt/τ)` for `dt`, exactly as
+    /// [`TheveninCell::rest`] would use it (and sharing its memo). Exposed
+    /// for batched stepping engines that advance `v_rc` out-of-band.
+    pub fn rc_alpha_for(&mut self, dt: f64) -> f64 {
+        let tau = self.spec.concentration_r_ohm * self.spec.plate_c_f;
+        if tau <= 0.0 {
+            // `rest` zeroes v_rc outright for a degenerate τ.
+            0.0
+        } else if dt > 0.0 {
+            self.rc_alpha(dt, tau)
+        } else {
+            // No time passes: the branch voltage holds.
+            1.0
+        }
+    }
+
     /// Creates a cell at a given initial state of charge.
     ///
     /// # Panics
@@ -539,8 +588,9 @@ impl TheveninCell {
     }
 
     /// Fractional charge lost to self-discharge per second (≈2.5 % per
-    /// month at room temperature — Li-ion shelf behavior).
-    const SELF_DISCHARGE_PER_S: f64 = 0.025 / (30.0 * 86_400.0);
+    /// month at room temperature — Li-ion shelf behavior). Public so
+    /// batched engines advancing SoC out-of-band apply the identical law.
+    pub const SELF_DISCHARGE_PER_S: f64 = 0.025 / (30.0 * 86_400.0);
 
     /// Lets the RC branch relax (and the cell cool) with no load for
     /// `dt_s` seconds. Long rests also lose a little charge to
@@ -562,6 +612,29 @@ impl TheveninCell {
             thermal.step(0.0, dt_s.max(0.0));
         }
     }
+}
+
+/// Plain-data capture of one cell's mutable state (see
+/// [`TheveninCell::export_state`]). The spec is shared immutable
+/// configuration and is referenced, not copied, on restore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStateSnapshot {
+    /// State of charge in `[0, 1]`.
+    pub soc: f64,
+    /// RC-branch (concentration) voltage, volts.
+    pub v_rc: f64,
+    /// Lifetime energy delivered, joules.
+    pub energy_out_j: f64,
+    /// Lifetime energy absorbed while charging, joules.
+    pub energy_in_j: f64,
+    /// Lifetime resistive heat, joules.
+    pub heat_j: f64,
+    /// Fault-injection multiplier on the ohmic resistance.
+    pub fault_r_mult: f64,
+    /// Mutable aging state.
+    pub aging: crate::aging::AgingStateSnapshot,
+    /// Thermal model (carries its temperature state), when attached.
+    pub thermal: Option<ThermalModel>,
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@ use sdb_bench::harness::{format_ns, Harness};
 use sdb_emulator::micro::Microcontroller;
 use sdb_emulator::pack::PackBuilder;
 use sdb_emulator::profile::ProfileKind;
+use sdb_emulator::{QuiescenceConfig, SoaCohort};
 use sdb_testkit::{alloc_counter, CountingAllocator};
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -142,6 +143,77 @@ fn prof_overhead() -> (f64, f64, Vec<(&'static str, f64)>) {
     (overhead_pct, profiled_allocs, shares)
 }
 
+/// Simulated ticks per timed repetition of the SoA fast-forward cycle:
+/// long enough to amortize timer reads across many enter/advance/exit
+/// cycles, short enough that the pack stays far from the SoC floor.
+const SOA_TICKS_PER_REP: u64 = 4000;
+/// Repetitions; min-of-reps.
+const SOA_REPS: usize = 9;
+
+/// ns per simulated tick of the SoA engine's steady-state quiescent
+/// cycle: closed-form multi-tick advances up to each boundary (stretch
+/// cap, drift budget, gauge recalibration), plus the amortized scalar
+/// sync tick and lane exit/re-entry at every boundary — exactly what the
+/// fleet hot path pays per fast-forwarded tick. Returns
+/// `(ns_per_tick, fast_forwarded_fraction)`.
+fn soa_step_ns() -> (f64, f64) {
+    let template = PackBuilder::new()
+        .battery_at(
+            BatterySpec::from_chemistry("energy", Chemistry::Type2CoStandard, 2.0),
+            0.9,
+            ProfileKind::Standard,
+        )
+        .battery_at(
+            BatterySpec::from_chemistry("power", Chemistry::Type3CoPower, 2.0),
+            0.8,
+            ProfileKind::Fast,
+        )
+        .build();
+    let load = 0.05;
+    let dt = 60.0;
+    let mut best = f64::INFINITY;
+    let mut ff_frac = 0.0;
+    for _ in 0..SOA_REPS {
+        let mut micro = template.clone();
+        let mut soa = SoaCohort::new(&micro, 1, QuiescenceConfig::default());
+        // Settle the RC transient at the held load so the lane qualifies.
+        let mut report = micro.step(load, 0.0, dt);
+        for _ in 0..50 {
+            report = micro.step(load, 0.0, dt);
+        }
+        assert!(
+            soa.try_enter(0, &micro, &report, load, dt),
+            "settled standby pack must qualify for the quiescent lane"
+        );
+        let mut ticks = 0u64;
+        let mut ff = 0u64;
+        let t0 = std::time::Instant::now();
+        while ticks < SOA_TICKS_PER_REP {
+            let k = soa.max_ticks(0, load, dt);
+            if k == 0 {
+                soa.exit(0, &mut micro);
+                report = black_box(micro.step(load, 0.0, dt));
+                ticks += 1;
+                assert!(
+                    soa.try_enter(0, &micro, &report, load, dt),
+                    "lane re-entry after a sync tick must succeed on a standby pack"
+                );
+            } else {
+                black_box(soa.advance(0, load, dt, k));
+                ticks += u64::from(k);
+                ff += u64::from(k);
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / ticks as f64;
+        if ns < best {
+            best = ns;
+            ff_frac = ff as f64 / ticks as f64;
+        }
+        soa.exit(0, &mut micro);
+    }
+    (best, ff_frac)
+}
+
 fn main() {
     let mut h = Harness::from_args();
     let sizes = [2usize, 4, 8];
@@ -200,6 +272,16 @@ fn main() {
          hot path must stay allocation-free"
     );
 
+    let (soa_ns, soa_ff) = soa_step_ns();
+    let scalar_ns = rows[0].1;
+    println!(
+        "  soa_step (pack 2): {} per simulated tick ({:.1}% fast-forwarded, \
+         {:.1}x vs scalar step)",
+        format_ns(soa_ns),
+        soa_ff * 100.0,
+        scalar_ns / soa_ns
+    );
+
     let mut json = String::new();
     json.push_str("{\"bench\":\"micro_step\",\"steps_per_call\":");
     let _ = write!(json, "{STEPS_PER_CALL}");
@@ -229,7 +311,8 @@ fn main() {
     }
     let _ = write!(
         json,
-        "}}}},\"host_cpus\":{}}}",
+        "}}}},\"soa_step\":{{\"ns_per_tick\":{soa_ns:?},\"ff_fraction\":{soa_ff:?}}},\
+         \"host_cpus\":{}}}",
         std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
     );
 

@@ -1,13 +1,19 @@
 #![allow(missing_docs)]
-//! ns/plan for the lookahead planner.
+//! ns/plan for the lookahead planner, plus a per-rollout allocation gate.
 //!
 //! Measures one full `Planner::plan` epoch — forecast materialization
 //! plus a rollout per candidate directive over the configured horizon —
-//! and merges a `"policy_plan":{"ns_per_plan":…}` entry into
-//! `BENCH_micro.json` (idempotently: a prior entry is replaced). The
-//! `sdb perf` gate ingests it as `micro_step.policy_plan.ns_per_plan`,
-//! lower-is-better, so planning-cost regressions trip the same
-//! longitudinal check as the hot loop.
+//! and merges a `"policy_plan":{"ns_per_plan":…,"allocs_per_rollout":…}`
+//! entry into `BENCH_micro.json` (idempotently: a prior entry is
+//! replaced). The `sdb perf` gate ingests both as
+//! `micro_step.policy_plan.*`, lower-is-better, so planning-cost
+//! regressions trip the same longitudinal check as the hot loop.
+//!
+//! The allocation gate isolates the rollouts from the per-epoch work
+//! (forecast materialization, candidate/score vectors) by differencing:
+//! once the shared [`RolloutScratch`] is warm, an epoch with 17
+//! candidates must allocate exactly as much as an epoch with 2 — every
+//! extra rollout runs entirely through the snapshot/restore scratch pair.
 
 use sdb_battery_model::chemistry::Chemistry;
 use sdb_battery_model::spec::BatterySpec;
@@ -18,8 +24,12 @@ use sdb_emulator::micro::Microcontroller;
 use sdb_emulator::pack::PackBuilder;
 use sdb_emulator::profile::ProfileKind;
 use sdb_policy::{HistoryForecaster, Planner, PlannerConfig};
+use sdb_testkit::{alloc_counter, CountingAllocator};
 use sdb_workloads::Trace;
 use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator::new();
 
 fn hybrid_pack() -> Microcontroller {
     PackBuilder::new()
@@ -45,6 +55,41 @@ fn history_day() -> Trace {
         t.push(if heavy { 2.5 } else { 0.15 }, 0.0, 3600.0);
     }
     t
+}
+
+/// Plan epochs measured per candidate count by the allocation gate.
+const ALLOC_EPOCHS: u64 = 50;
+
+/// Steady-state heap allocations across `ALLOC_EPOCHS` full plan epochs
+/// at `candidates`: two warmup epochs build the rollout scratch and
+/// settle the incumbent onto the candidate grid, then the counted epochs
+/// run back to back (the replan clock advanced via `observe_step`).
+fn allocs_at_candidates(
+    micro: &Microcontroller,
+    forecaster: &HistoryForecaster,
+    input: &PolicyInput,
+    candidates: usize,
+) -> u64 {
+    let cfg = PlannerConfig {
+        horizon_s: 4.0 * 3600.0,
+        candidates,
+        ..PlannerConfig::default()
+    };
+    let period = cfg.replan_period_s;
+    let mut planner = Planner::new(cfg, Box::new(forecaster.clone()));
+    let mut t = 0.0;
+    for _ in 0..2 {
+        black_box(planner.plan(t, micro, input));
+        planner.observe_step(t, period, 0.5);
+        t += period;
+    }
+    let before = alloc_counter::allocs();
+    for _ in 0..ALLOC_EPOCHS {
+        black_box(planner.plan(t, micro, input));
+        planner.observe_step(t, period, 0.5);
+        t += period;
+    }
+    alloc_counter::allocs() - before
 }
 
 fn main() {
@@ -73,6 +118,24 @@ fn main() {
     println!("  plan epoch: {} per plan", format_ns(ns_per_plan));
     h.finish();
 
+    // Allocation gate: the extra 15 rollouts per epoch at 17 candidates
+    // must be free once the scratch is warm.
+    let wide = 17usize;
+    let narrow = 2usize;
+    let a_wide = allocs_at_candidates(&micro, &forecaster, &input, wide);
+    let a_narrow = allocs_at_candidates(&micro, &forecaster, &input, narrow);
+    let extra_rollouts = ALLOC_EPOCHS * (wide - narrow) as u64;
+    let allocs_per_rollout = (a_wide as f64 - a_narrow as f64) / extra_rollouts as f64;
+    println!(
+        "  rollout allocs: {a_wide} allocs over {ALLOC_EPOCHS} epochs at {wide} \
+         candidates vs {a_narrow} at {narrow} -> {allocs_per_rollout} allocs/rollout"
+    );
+    assert!(
+        allocs_per_rollout == 0.0,
+        "warm planner rollouts allocated ({allocs_per_rollout}/rollout) — the \
+         snapshot/restore scratch path regressed"
+    );
+
     let path = std::env::var("SDB_BENCH_MICRO_OUT")
         .unwrap_or_else(|_| format!("{}/../../BENCH_micro.json", env!("CARGO_MANIFEST_DIR")));
     match std::fs::read_to_string(&path) {
@@ -84,7 +147,10 @@ fn main() {
                     text.replace_range(start..=start + end, "");
                 }
             }
-            let entry = format!(",\"policy_plan\":{{\"ns_per_plan\":{ns_per_plan:?}}}");
+            let entry = format!(
+                ",\"policy_plan\":{{\"ns_per_plan\":{ns_per_plan:?},\
+                 \"allocs_per_rollout\":{allocs_per_rollout:?}}}"
+            );
             if let Some(at) = text.find(",\"host_cpus\"") {
                 text.insert_str(at, &entry);
                 match std::fs::write(&path, &text) {

@@ -92,11 +92,12 @@ pub use error::SdbError;
 pub use events::{apply_event, OsEvent};
 pub use lookahead::{LookaheadPolicy, PlanUpdate};
 pub use metrics::{ccb, rbl_wh, wear_ratios};
-pub use policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
+pub use policy::{ChargeDirective, DischargeDirective, PolicyInput, PolicyScratch, PreservePolicy};
 pub use predict::UsagePredictor;
 pub use runtime::{ResilienceConfig, SdbRuntime};
 pub use scheduler::{
-    run_trace, run_trace_linked, run_trace_planned, LinkedSimOptions, SimOptions, SimResult,
+    run_trace, run_trace_linked, run_trace_planned, run_trace_prepared, LinkedSimOptions,
+    PreparedResult, SimOptions, SimResult,
 };
 
 /// Compile-time guarantee that the whole simulation stack can be moved

@@ -60,11 +60,25 @@ impl PolicyInput {
     /// truth (the emulator stands in for gauge+curve lookups).
     #[must_use]
     pub fn from_micro(micro: &Microcontroller) -> Self {
-        let batteries = micro
-            .cells()
-            .iter()
-            .enumerate()
-            .map(|(i, cell)| {
+        let mut input = Self {
+            batteries: Vec::with_capacity(micro.battery_count()),
+            load_w: 0.0,
+            external_w: 0.0,
+        };
+        input.refill_from_micro(micro);
+        input
+    }
+
+    /// Rebuilds the snapshot in place from `micro`, reusing the battery
+    /// buffer (no allocation once capacity is established) — the rollout
+    /// hot path. Load and external power are reset to zero, as in
+    /// [`PolicyInput::from_micro`].
+    pub fn refill_from_micro(&mut self, micro: &Microcontroller) {
+        self.load_w = 0.0;
+        self.external_w = 0.0;
+        self.batteries.clear();
+        self.batteries
+            .extend(micro.cells().iter().enumerate().map(|(i, cell)| {
                 // An absent battery (detached pack) is unusable in both
                 // directions: report it empty and full so no policy routes
                 // power to it.
@@ -83,13 +97,7 @@ impl PolicyInput {
                     empty: cell.is_empty() || !present,
                     full: cell.is_full() || !present,
                 }
-            })
-            .collect();
-        Self {
-            batteries,
-            load_w: 0.0,
-            external_w: 0.0,
-        }
+            }));
     }
 
     /// Sets the load estimate (builder style).
@@ -111,16 +119,55 @@ impl PolicyInput {
 /// weight is zero.
 #[must_use]
 pub fn normalize(weights: &[f64]) -> Option<Vec<f64>> {
+    let mut out = weights.to_vec();
+    normalize_in_place(&mut out).then_some(out)
+}
+
+/// In-place [`normalize`]: rewrites `weights` into ratios, returning
+/// `false` (leaving the slice untouched) if every weight is zero.
+pub fn normalize_in_place(weights: &mut [f64]) -> bool {
     let sum: f64 = weights.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
     if sum <= 0.0 {
-        return None;
+        return false;
     }
-    Some(
-        weights
-            .iter()
-            .map(|&w| if w > 0.0 { w / sum } else { 0.0 })
-            .collect(),
-    )
+    for w in weights.iter_mut() {
+        *w = if *w > 0.0 { *w / sum } else { 0.0 };
+    }
+    true
+}
+
+/// Reusable buffers for allocation-free policy evaluation
+/// ([`DischargeDirective::ratios_into`] and friends). One instance per
+/// runtime; rollout loops hit zero allocations once the buffers reach
+/// pack size.
+#[derive(Debug, Clone, Default)]
+pub struct PolicyScratch {
+    ccb: Vec<f64>,
+    rbl: Vec<f64>,
+    delta: Vec<f64>,
+    currents: Vec<f64>,
+    out: Vec<f64>,
+}
+
+impl PolicyScratch {
+    /// Empty scratch (buffers grow to pack size on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The ratios produced by the most recent `*_into` evaluation.
+    #[must_use]
+    pub fn ratios(&self) -> &[f64] {
+        &self.out
+    }
+
+    /// Mutable view of the most recent result (for post-processing such
+    /// as guard-band widening).
+    #[must_use]
+    pub fn ratios_mut(&mut self) -> &mut [f64] {
+        &mut self.out
+    }
 }
 
 /// CCB-Discharge: route load toward the least-worn batteries so wear
@@ -131,26 +178,39 @@ pub fn normalize(weights: &[f64]) -> Option<Vec<f64>> {
 ///
 /// [`SdbError::Infeasible`] if every battery is empty.
 pub fn ccb_discharge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+    let mut out = Vec::with_capacity(input.batteries.len());
+    ccb_discharge_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`ccb_discharge`] writing into a caller-owned buffer (no allocation
+/// once `out` has pack capacity).
+///
+/// # Errors
+///
+/// [`SdbError::Infeasible`] if every battery is empty.
+pub fn ccb_discharge_into(input: &PolicyInput, out: &mut Vec<f64>) -> Result<(), SdbError> {
     let max_wear = input
         .batteries
         .iter()
         .filter(|b| !b.empty)
         .map(|b| b.wear)
         .fold(f64::NEG_INFINITY, f64::max);
-    let weights: Vec<f64> = input
-        .batteries
-        .iter()
-        .map(|b| {
-            if b.empty {
-                0.0
-            } else {
-                // Strictly positive for usable batteries; the lead term
-                // biases toward the least worn.
-                (max_wear - b.wear) + 0.02
-            }
-        })
-        .collect();
-    normalize(&weights).ok_or(SdbError::Infeasible("all batteries empty"))
+    out.clear();
+    out.extend(input.batteries.iter().map(|b| {
+        if b.empty {
+            0.0
+        } else {
+            // Strictly positive for usable batteries; the lead term
+            // biases toward the least worn.
+            (max_wear - b.wear) + 0.02
+        }
+    }));
+    if normalize_in_place(out) {
+        Ok(())
+    } else {
+        Err(SdbError::Infeasible("all batteries empty"))
+    }
 }
 
 /// CCB-Charge: route charge toward the least-worn batteries that can
@@ -160,24 +220,36 @@ pub fn ccb_discharge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
 ///
 /// [`SdbError::Infeasible`] if no battery can accept charge.
 pub fn ccb_charge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+    let mut out = Vec::with_capacity(input.batteries.len());
+    ccb_charge_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`ccb_charge`] writing into a caller-owned buffer.
+///
+/// # Errors
+///
+/// [`SdbError::Infeasible`] if no battery can accept charge.
+pub fn ccb_charge_into(input: &PolicyInput, out: &mut Vec<f64>) -> Result<(), SdbError> {
     let max_wear = input
         .batteries
         .iter()
         .filter(|b| !b.full)
         .map(|b| b.wear)
         .fold(f64::NEG_INFINITY, f64::max);
-    let weights: Vec<f64> = input
-        .batteries
-        .iter()
-        .map(|b| {
-            if b.full || b.charge_acceptance_a <= 0.0 {
-                0.0
-            } else {
-                (max_wear - b.wear) + 0.02
-            }
-        })
-        .collect();
-    normalize(&weights).ok_or(SdbError::Infeasible("no battery can accept charge"))
+    out.clear();
+    out.extend(input.batteries.iter().map(|b| {
+        if b.full || b.charge_acceptance_a <= 0.0 {
+            0.0
+        } else {
+            (max_wear - b.wear) + 0.02
+        }
+    }));
+    if normalize_in_place(out) {
+        Ok(())
+    } else {
+        Err(SdbError::Infeasible("no battery can accept charge"))
+    }
 }
 
 /// Planning horizon used to discretize the paper's `δi` term: how far
@@ -195,46 +267,73 @@ const RBL_HORIZON_H: f64 = 0.25;
 /// [`SdbError::Infeasible`] if every battery is empty.
 pub fn rbl_discharge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
     let n = input.batteries.len();
+    let mut out = Vec::with_capacity(n);
+    let mut delta = Vec::with_capacity(n);
+    let mut currents = Vec::with_capacity(n);
+    rbl_discharge_into(input, &mut out, &mut delta, &mut currents)?;
+    Ok(out)
+}
+
+/// [`rbl_discharge`] writing into caller-owned buffers: `out` receives
+/// the ratios; `delta` and `currents` are internal scratch (contents
+/// overwritten). No allocation once all three have pack capacity.
+///
+/// # Errors
+///
+/// [`SdbError::Infeasible`] if every battery is empty.
+pub fn rbl_discharge_into(
+    input: &PolicyInput,
+    out: &mut Vec<f64>,
+    delta: &mut Vec<f64>,
+    currents: &mut Vec<f64>,
+) -> Result<(), SdbError> {
+    let n = input.batteries.len();
     let total_i: f64 = {
         // Approximate pack current demand for the fixed point.
-        let mean_v: f64 = {
-            let usable: Vec<&BatteryView> = input.batteries.iter().filter(|b| !b.empty).collect();
-            if usable.is_empty() {
-                return Err(SdbError::Infeasible("all batteries empty"));
-            }
-            usable.iter().map(|b| b.ocv_v).sum::<f64>() / usable.len() as f64
-        };
+        let (usable, v_sum) = input
+            .batteries
+            .iter()
+            .filter(|b| !b.empty)
+            .fold((0usize, 0.0f64), |(k, s), b| (k + 1, s + b.ocv_v));
+        if usable == 0 {
+            return Err(SdbError::Infeasible("all batteries empty"));
+        }
+        let mean_v = v_sum / usable as f64;
         (input.load_w / mean_v).max(0.0)
     };
     // δ'i: ohms added per amp drawn for RBL_HORIZON_H hours.
-    let delta: Vec<f64> = input
-        .batteries
-        .iter()
-        .map(|b| b.dcir_slope * RBL_HORIZON_H / b.capacity_ah.max(1e-9))
-        .collect();
-    let mut currents = vec![0.0f64; n];
-    // Initialize with the parallel-resistor split.
-    let mut weights: Vec<f64> = input
-        .batteries
-        .iter()
-        .map(|b| {
-            if b.empty {
-                0.0
-            } else {
-                b.ocv_v / b.resistance_ohm.max(1e-6)
-            }
-        })
-        .collect();
+    delta.clear();
+    delta.extend(
+        input
+            .batteries
+            .iter()
+            .map(|b| b.dcir_slope * RBL_HORIZON_H / b.capacity_ah.max(1e-9)),
+    );
+    currents.clear();
+    currents.resize(n, 0.0);
+    // Initialize `out` with the parallel-resistor split weights.
+    out.clear();
+    out.extend(input.batteries.iter().map(|b| {
+        if b.empty {
+            0.0
+        } else {
+            b.ocv_v / b.resistance_ohm.max(1e-6)
+        }
+    }));
     for _ in 0..12 {
-        let ratios = match normalize(&weights) {
-            Some(r) => r,
-            None => return Err(SdbError::Infeasible("all batteries empty")),
-        };
-        for i in 0..n {
-            currents[i] = ratios[i] * total_i;
+        let sum: f64 = out.iter().filter(|w| w.is_finite() && **w > 0.0).sum();
+        if sum <= 0.0 {
+            return Err(SdbError::Infeasible("all batteries empty"));
         }
         for i in 0..n {
-            weights[i] = if input.batteries[i].empty {
+            currents[i] = if out[i] > 0.0 {
+                out[i] / sum * total_i
+            } else {
+                0.0
+            };
+        }
+        for i in 0..n {
+            out[i] = if input.batteries[i].empty {
                 0.0
             } else {
                 let r_eff = input.batteries[i].resistance_ohm + delta[i] * currents[i];
@@ -243,7 +342,10 @@ pub fn rbl_discharge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
         }
     }
     // Cap at per-battery current limits, shifting the excess.
-    let mut ratios = normalize(&weights).ok_or(SdbError::Infeasible("all batteries empty"))?;
+    if !normalize_in_place(out) {
+        return Err(SdbError::Infeasible("all batteries empty"));
+    }
+    let ratios = out;
     if total_i > 0.0 {
         for _ in 0..n {
             let mut excess = 0.0;
@@ -292,7 +394,7 @@ pub fn rbl_discharge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
             }
         }
     }
-    Ok(ratios)
+    Ok(())
 }
 
 /// RBL-Charge: maximize the rate of *useful* charge accumulation — fill
@@ -304,21 +406,33 @@ pub fn rbl_discharge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
 ///
 /// [`SdbError::Infeasible`] if no battery can accept charge.
 pub fn rbl_charge(input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
-    let weights: Vec<f64> = input
-        .batteries
-        .iter()
-        .map(|b| {
-            if b.full || b.charge_acceptance_a <= 0.0 {
-                0.0
-            } else {
-                let p_accept = b.charge_acceptance_a * b.ocv_v;
-                let eta = (1.0 - b.charge_acceptance_a * b.resistance_ohm / b.ocv_v.max(1e-6))
-                    .clamp(0.05, 1.0);
-                p_accept * eta
-            }
-        })
-        .collect();
-    normalize(&weights).ok_or(SdbError::Infeasible("no battery can accept charge"))
+    let mut out = Vec::with_capacity(input.batteries.len());
+    rbl_charge_into(input, &mut out)?;
+    Ok(out)
+}
+
+/// [`rbl_charge`] writing into a caller-owned buffer.
+///
+/// # Errors
+///
+/// [`SdbError::Infeasible`] if no battery can accept charge.
+pub fn rbl_charge_into(input: &PolicyInput, out: &mut Vec<f64>) -> Result<(), SdbError> {
+    out.clear();
+    out.extend(input.batteries.iter().map(|b| {
+        if b.full || b.charge_acceptance_a <= 0.0 {
+            0.0
+        } else {
+            let p_accept = b.charge_acceptance_a * b.ocv_v;
+            let eta = (1.0 - b.charge_acceptance_a * b.resistance_ohm / b.ocv_v.max(1e-6))
+                .clamp(0.05, 1.0);
+            p_accept * eta
+        }
+    }));
+    if normalize_in_place(out) {
+        Ok(())
+    } else {
+        Err(SdbError::Infeasible("no battery can accept charge"))
+    }
 }
 
 /// The discharging directive parameter: 0 = pure CCB-Discharge (longevity),
@@ -357,7 +471,30 @@ impl DischargeDirective {
     ///
     /// Propagates infeasibility when every battery is empty.
     pub fn ratios(self, input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
-        blend(self.0, &ccb_discharge(input)?, &rbl_discharge(input)?)
+        let mut scratch = PolicyScratch::new();
+        self.ratios_into(input, &mut scratch)?;
+        Ok(scratch.out)
+    }
+
+    /// Allocation-free [`DischargeDirective::ratios`]: the result lands
+    /// in [`PolicyScratch::ratios`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasibility when every battery is empty.
+    pub fn ratios_into(
+        self,
+        input: &PolicyInput,
+        scratch: &mut PolicyScratch,
+    ) -> Result<(), SdbError> {
+        ccb_discharge_into(input, &mut scratch.ccb)?;
+        rbl_discharge_into(
+            input,
+            &mut scratch.rbl,
+            &mut scratch.delta,
+            &mut scratch.currents,
+        )?;
+        blend_into(self.0, &scratch.ccb, &scratch.rbl, &mut scratch.out)
     }
 }
 
@@ -398,17 +535,36 @@ impl ChargeDirective {
     ///
     /// Propagates infeasibility when no battery can accept charge.
     pub fn ratios(self, input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
-        blend(self.0, &ccb_charge(input)?, &rbl_charge(input)?)
+        let mut scratch = PolicyScratch::new();
+        self.ratios_into(input, &mut scratch)?;
+        Ok(scratch.out)
+    }
+
+    /// Allocation-free [`ChargeDirective::ratios`]: the result lands in
+    /// [`PolicyScratch::ratios`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasibility when no battery can accept charge.
+    pub fn ratios_into(
+        self,
+        input: &PolicyInput,
+        scratch: &mut PolicyScratch,
+    ) -> Result<(), SdbError> {
+        ccb_charge_into(input, &mut scratch.ccb)?;
+        rbl_charge_into(input, &mut scratch.rbl)?;
+        blend_into(self.0, &scratch.ccb, &scratch.rbl, &mut scratch.out)
     }
 }
 
-fn blend(d: f64, ccb: &[f64], rbl: &[f64]) -> Result<Vec<f64>, SdbError> {
-    let mixed: Vec<f64> = ccb
-        .iter()
-        .zip(rbl)
-        .map(|(&c, &r)| (1.0 - d) * c + d * r)
-        .collect();
-    normalize(&mixed).ok_or(SdbError::Infeasible("blend produced zero weights"))
+fn blend_into(d: f64, ccb: &[f64], rbl: &[f64], out: &mut Vec<f64>) -> Result<(), SdbError> {
+    out.clear();
+    out.extend(ccb.iter().zip(rbl).map(|(&c, &r)| (1.0 - d) * c + d * r));
+    if normalize_in_place(out) {
+        Ok(())
+    } else {
+        Err(SdbError::Infeasible("blend produced zero weights"))
+    }
 }
 
 /// The workload-aware watch policy (Section 5.2, Figure 13's "Policy 2"):
@@ -448,6 +604,26 @@ impl PreservePolicy {
     /// [`SdbError::BadIndex`] for out-of-range battery indices;
     /// [`SdbError::Infeasible`] when every battery is empty.
     pub fn ratios(&self, input: &PolicyInput) -> Result<Vec<f64>, SdbError> {
+        let mut out = Vec::with_capacity(input.batteries.len());
+        self.ratios_into_buf(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free [`PreservePolicy::ratios`]: the result lands in
+    /// [`PolicyScratch::ratios`].
+    ///
+    /// # Errors
+    ///
+    /// As [`PreservePolicy::ratios`].
+    pub fn ratios_into(
+        &self,
+        input: &PolicyInput,
+        scratch: &mut PolicyScratch,
+    ) -> Result<(), SdbError> {
+        self.ratios_into_buf(input, &mut scratch.out)
+    }
+
+    fn ratios_into_buf(&self, input: &PolicyInput, out: &mut Vec<f64>) -> Result<(), SdbError> {
         let n = input.batteries.len();
         if self.efficient >= n || self.inefficient >= n {
             return Err(SdbError::BadIndex {
@@ -457,7 +633,9 @@ impl PreservePolicy {
         }
         let eff = &input.batteries[self.efficient];
         let ineff = &input.batteries[self.inefficient];
-        let mut weights = vec![0.0; n];
+        out.clear();
+        out.resize(n, 0.0);
+        let weights = out;
         if input.load_w >= self.high_power_threshold_w {
             // High-power episode: this is what we saved the efficient
             // battery for. Draw from it primarily; let the inefficient cell
@@ -481,7 +659,11 @@ impl PreservePolicy {
                 weights[self.efficient] = 1.0;
             }
         }
-        normalize(&weights).ok_or(SdbError::Infeasible("all batteries empty"))
+        if normalize_in_place(weights) {
+            Ok(())
+        } else {
+            Err(SdbError::Infeasible("all batteries empty"))
+        }
     }
 }
 

@@ -8,7 +8,9 @@
 
 use crate::api::SdbApi;
 use crate::error::SdbError;
-use crate::policy::{ChargeDirective, DischargeDirective, PolicyInput, PreservePolicy};
+use crate::policy::{
+    ChargeDirective, DischargeDirective, PolicyInput, PolicyScratch, PreservePolicy,
+};
 use sdb_emulator::link::Response;
 use sdb_fuel_gauge::gauge::BatteryStatus;
 use sdb_observe::{Counter, Gauge, ObsEvent, Observer, SpanName};
@@ -126,6 +128,9 @@ pub struct SdbRuntime {
     /// Graceful-degradation layer (absent until
     /// [`SdbRuntime::enable_resilience`]).
     resilience: Option<ResilienceState>,
+    /// Reusable policy-evaluation buffers, keeping the tick path
+    /// allocation-free (planner rollouts hammer this).
+    scratch: PolicyScratch,
 }
 
 impl SdbRuntime {
@@ -151,6 +156,7 @@ impl SdbRuntime {
             observer: Observer::disabled(),
             metrics: None,
             resilience: None,
+            scratch: PolicyScratch::new(),
         };
         rt.set_observer(sdb_observe::global());
         rt
@@ -483,18 +489,25 @@ impl SdbRuntime {
             .and_then(|r| (r.degraded.iter().any(|d| *d)).then_some(r.cfg.guard_widen));
         let mut pushed = false;
 
-        let discharge = match &self.preserve {
-            Some(p) => p.ratios(input),
-            None => self.discharge_directive.ratios(input),
+        // Both directions evaluate into the reusable scratch buffers and
+        // copy into `last_*` on push, so a steady-state tick (and every
+        // planner rollout tick) allocates nothing.
+        let discharge_ok = match &self.preserve {
+            Some(p) => p.ratios_into(input, &mut self.scratch).is_ok(),
+            None => self
+                .discharge_directive
+                .ratios_into(input, &mut self.scratch)
+                .is_ok(),
         };
-        if let Ok(mut ratios) = discharge {
+        if discharge_ok {
             if let Some(g) = widen {
                 let usable: Vec<bool> = input.batteries.iter().map(|b| !b.empty).collect();
-                widen_toward_uniform(&mut ratios, &usable, g);
+                widen_toward_uniform(self.scratch.ratios_mut(), &usable, g);
             }
-            if materially_different(&ratios, &self.last_discharge) {
-                api.discharge(&ratios)?;
-                self.last_discharge = ratios;
+            if materially_different(self.scratch.ratios(), &self.last_discharge) {
+                api.discharge(self.scratch.ratios())?;
+                self.last_discharge.clear();
+                self.last_discharge.extend_from_slice(self.scratch.ratios());
                 self.pushes += 1;
                 if let Some(m) = &self.metrics {
                     m.pushes.inc();
@@ -507,18 +520,23 @@ impl SdbRuntime {
             }
         }
 
-        if let Ok(mut ratios) = self.charge_directive.ratios(input) {
+        if self
+            .charge_directive
+            .ratios_into(input, &mut self.scratch)
+            .is_ok()
+        {
             if let Some(g) = widen {
                 let usable: Vec<bool> = input
                     .batteries
                     .iter()
                     .map(|b| !b.full && b.charge_acceptance_a > 0.0)
                     .collect();
-                widen_toward_uniform(&mut ratios, &usable, g);
+                widen_toward_uniform(self.scratch.ratios_mut(), &usable, g);
             }
-            if materially_different(&ratios, &self.last_charge) {
-                api.charge(&ratios)?;
-                self.last_charge = ratios;
+            if materially_different(self.scratch.ratios(), &self.last_charge) {
+                api.charge(self.scratch.ratios())?;
+                self.last_charge.clear();
+                self.last_charge.extend_from_slice(self.scratch.ratios());
                 self.pushes += 1;
                 if let Some(m) = &self.metrics {
                     m.pushes.inc();
@@ -542,6 +560,30 @@ impl SdbRuntime {
     #[must_use]
     pub fn battery_count(&self) -> usize {
         self.n
+    }
+
+    /// Accounts for `ticks` runtime ticks of `dt_s` that the SoA engine
+    /// fast-forwarded past without calling [`SdbRuntime::tick`]: replays
+    /// the update-period clock exactly and credits the skipped policy
+    /// evaluations to the metrics, keeping counters engine-invariant.
+    /// (The quiescence classifier guarantees those evaluations could not
+    /// have pushed new ratios.) Returns the number of evaluations
+    /// credited.
+    pub fn note_fast_forward(&mut self, dt_s: f64, ticks: u64) -> u64 {
+        let mut evals = 0u64;
+        for _ in 0..ticks {
+            self.since_update_s += dt_s;
+            if self.since_update_s >= self.update_period_s {
+                self.since_update_s = 0.0;
+                evals += 1;
+            }
+        }
+        if evals > 0 {
+            if let Some(m) = &self.metrics {
+                m.policy_evals.add(evals);
+            }
+        }
+        evals
     }
 }
 

@@ -10,7 +10,7 @@ use crate::policy::PolicyInput;
 use crate::runtime::SdbRuntime;
 use sdb_emulator::link::{Command, Link};
 use sdb_emulator::micro::Microcontroller;
-use sdb_workloads::traces::Trace;
+use sdb_workloads::traces::{Trace, TracePoint};
 
 /// Options for a simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -217,6 +217,98 @@ where
         hourly_loss_j: hourly_loss,
         hourly_load_j: hourly_load,
         final_soc: micro.cells().iter().map(|c| c.soc()).collect(),
+    }
+}
+
+/// The scalar subset of [`SimResult`] that rollout scoring consumes —
+/// `Copy`, so [`run_trace_prepared`] returns without heap allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PreparedResult {
+    /// Wall-clock simulated, seconds.
+    pub simulated_s: f64,
+    /// Energy delivered to the load, joules.
+    pub supplied_j: f64,
+    /// Load energy that went unserved, joules.
+    pub unmet_j: f64,
+    /// Circuit losses, joules.
+    pub circuit_loss_j: f64,
+    /// Cell resistive heat, joules.
+    pub cell_heat_j: f64,
+    /// External energy consumed, joules.
+    pub external_j: f64,
+    /// Time of first unserved load, if any, seconds.
+    pub first_brownout_s: Option<f64>,
+}
+
+impl PreparedResult {
+    /// Total losses, joules.
+    #[must_use]
+    pub fn total_loss_j(&self) -> f64 {
+        self.circuit_loss_j + self.cell_heat_j
+    }
+
+    /// As [`SimResult::battery_life_s`].
+    #[must_use]
+    pub fn battery_life_s(&self) -> f64 {
+        self.first_brownout_s.unwrap_or(self.simulated_s)
+    }
+}
+
+/// The allocation-free rollout driver: runs pre-resampled `points`
+/// against the pack, reusing the caller's [`PolicyInput`] buffer.
+///
+/// Planner rollouts call this thousands of times per plan cycle; it
+/// executes the same `tick → step` instruction sequence as [`run_trace`]
+/// (so scores are bit-identical to a [`run_trace`] rollout over the same
+/// resampled points) but skips the per-call trace resample and all
+/// per-run bookkeeping vectors. The caller resamples once with
+/// `trace.resampled(opts.max_dt_s)` and reuses the points across
+/// candidates.
+///
+/// # Panics
+///
+/// Panics if the emulated hardware rejects a runtime push (fatal in
+/// simulation, as in [`run_trace`]).
+pub fn run_trace_prepared(
+    micro: &mut Microcontroller,
+    runtime: &mut SdbRuntime,
+    points: &[TracePoint],
+    opts: &SimOptions,
+    input: &mut PolicyInput,
+) -> PreparedResult {
+    let start = micro.time_s();
+    let (d0, cl0, ch0, u0, e0) = micro.energy_totals_j();
+    let mut first_brownout = None;
+    let mut elapsed = 0.0f64;
+    for p in points {
+        let _prof = sdb_prof::step(sdb_prof::Phase::TraceStep);
+        input.refill_from_micro(micro);
+        input.load_w = p.load_w;
+        input.external_w = p.external_w;
+        {
+            let _prof = sdb_prof::sub(sdb_prof::Phase::RuntimeTick);
+            runtime
+                .tick(micro, input, p.dur_s)
+                .expect("runtime push rejected by emulated hardware");
+        }
+        let report = micro.step(p.load_w, p.external_w, p.dur_s);
+        elapsed += p.dur_s;
+        if report.unmet_w > 1e-9 && first_brownout.is_none() {
+            first_brownout = Some(elapsed);
+            if opts.stop_on_brownout {
+                break;
+            }
+        }
+    }
+    let (d1, cl1, ch1, u1, e1) = micro.energy_totals_j();
+    PreparedResult {
+        simulated_s: micro.time_s() - start,
+        supplied_j: d1 - d0,
+        unmet_j: u1 - u0,
+        circuit_loss_j: cl1 - cl0,
+        cell_heat_j: ch1 - ch0,
+        external_j: e1 - e0,
+        first_brownout_s: first_brownout,
     }
 }
 
@@ -505,6 +597,42 @@ mod tests {
         assert_eq!(result.hourly_load_j.len(), 3);
         let hourly_sum: f64 = result.hourly_loss_j.iter().sum();
         assert!((hourly_sum - result.total_loss_j()).abs() / result.total_loss_j() < 0.01);
+    }
+
+    #[test]
+    fn prepared_matches_run_trace_bit_exactly() {
+        let trace = Trace::constant(6.0, 2.0 * 3600.0);
+        let opts = SimOptions {
+            stop_on_brownout: true,
+            ..SimOptions::default()
+        };
+        let mut m1 = pack(0.6);
+        let mut rt1 = SdbRuntime::new(2);
+        let full = run_trace(&mut m1, &mut rt1, &trace, &opts);
+
+        let mut m2 = pack(0.6);
+        let mut rt2 = SdbRuntime::new(2);
+        let resampled = trace.resampled(opts.max_dt_s);
+        let mut input = PolicyInput::from_micro(&m2);
+        let lean = run_trace_prepared(&mut m2, &mut rt2, resampled.points(), &opts, &mut input);
+
+        assert_eq!(full.simulated_s.to_bits(), lean.simulated_s.to_bits());
+        assert_eq!(full.supplied_j.to_bits(), lean.supplied_j.to_bits());
+        assert_eq!(full.unmet_j.to_bits(), lean.unmet_j.to_bits());
+        assert_eq!(full.circuit_loss_j.to_bits(), lean.circuit_loss_j.to_bits());
+        assert_eq!(full.cell_heat_j.to_bits(), lean.cell_heat_j.to_bits());
+        assert_eq!(full.first_brownout_s, lean.first_brownout_s);
+        // The packs themselves evolved identically.
+        assert_eq!(
+            m1.cells()
+                .iter()
+                .map(|c| c.soc().to_bits())
+                .collect::<Vec<_>>(),
+            m2.cells()
+                .iter()
+                .map(|c| c.soc().to_bits())
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

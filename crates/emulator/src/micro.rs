@@ -10,6 +10,7 @@
 
 use crate::pack::PackConfig;
 use crate::profile::{ChargingProfile, ProfileKind};
+use crate::snapshot::{PackSnapshot, TransferSnapshot};
 use sdb_battery_model::error::BatteryError;
 use sdb_battery_model::thevenin::TheveninCell;
 use sdb_fuel_gauge::gauge::{BatteryStatus, FuelGauge};
@@ -381,7 +382,8 @@ impl Microcontroller {
     /// [`PowerError::WrongChannelCount`] / [`PowerError::InvalidRatios`]
     /// for malformed tuples.
     pub fn set_discharge_ratios(&mut self, ratios: &[f64]) -> Result<(), PowerError> {
-        self.discharge_ratios = self.realize_ratios(ratios)?;
+        self.check_ratio_tuple(ratios)?;
+        realize_into(&self.share_chain, ratios, &mut self.discharge_ratios);
         if let Some(m) = &self.metrics {
             m.ratio_pushes_discharge.inc();
         }
@@ -400,7 +402,8 @@ impl Microcontroller {
     ///
     /// As [`Microcontroller::set_discharge_ratios`].
     pub fn set_charge_ratios(&mut self, ratios: &[f64]) -> Result<(), PowerError> {
-        self.charge_ratios = self.realize_ratios(ratios)?;
+        self.check_ratio_tuple(ratios)?;
+        realize_into(&self.share_chain, ratios, &mut self.charge_ratios);
         if let Some(m) = &self.metrics {
             m.ratio_pushes_charge.inc();
         }
@@ -413,29 +416,22 @@ impl Microcontroller {
         Ok(())
     }
 
-    fn realize_ratios(&self, ratios: &[f64]) -> Result<Vec<f64>, PowerError> {
+    fn check_ratio_tuple(&self, ratios: &[f64]) -> Result<(), PowerError> {
         if ratios.len() != self.cells.len() {
             return Err(PowerError::WrongChannelCount {
                 expected: self.cells.len(),
                 got: ratios.len(),
             });
         }
-        check_ratios(ratios)?;
-        let mut realized: Vec<f64> = ratios
-            .iter()
-            .map(|&r| {
-                if r > 0.0 {
-                    self.share_chain.realized_share(r).unwrap_or(r)
-                } else {
-                    0.0
-                }
-            })
-            .collect();
-        let sum: f64 = realized.iter().sum();
-        if sum > 0.0 {
-            realized.iter_mut().for_each(|r| *r /= sum);
+        check_ratios(ratios)
+    }
+
+    /// Credits `n` emulation steps that the SoA engine fast-forwarded
+    /// past, keeping the step counters engine-invariant.
+    pub fn credit_skipped_steps(&self, n: u64) {
+        if let Some(m) = &self.metrics {
+            m.steps.add(n);
         }
-        Ok(realized)
     }
 
     /// `ChargeOneFromAnother(X, Y, W, T)`: charge battery `to` from battery
@@ -677,6 +673,12 @@ impl Microcontroller {
     #[must_use]
     pub fn cells(&self) -> &[TheveninCell] {
         &self.cells
+    }
+
+    /// The fuel-gauge front-end configuration (identical across slots).
+    #[must_use]
+    pub fn gauge_config(&self) -> sdb_fuel_gauge::gauge::GaugeConfig {
+        self.gauges[0].config()
     }
 
     /// Current discharge ratios as realized by the hardware.
@@ -1298,6 +1300,128 @@ impl Microcontroller {
             }
             Err(_) => (0.0, 0.0, 0.0, None),
         }
+    }
+}
+
+/// Snapshot/restore: see [`crate::snapshot::PackSnapshot`]. Implemented
+/// here because it reaches into the controller's private state.
+impl Microcontroller {
+    /// Captures the pack's full mutable state into a fresh snapshot.
+    #[must_use]
+    pub fn snapshot(&self) -> PackSnapshot {
+        let mut snap = PackSnapshot::default();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Captures the pack's full mutable state into `snap`, reusing its
+    /// buffers (no allocation once the buffers have grown to pack size).
+    pub fn snapshot_into(&self, snap: &mut PackSnapshot) {
+        snap.time_s = self.time_s;
+        snap.delivered_j = self.delivered_j;
+        snap.circuit_loss_j = self.circuit_loss_j;
+        snap.cell_heat_j = self.cell_heat_j;
+        snap.unmet_j = self.unmet_j;
+        snap.external_in_j = self.external_in_j;
+        snap.discharge_ratios.clear();
+        snap.discharge_ratios
+            .extend_from_slice(&self.discharge_ratios);
+        snap.charge_ratios.clear();
+        snap.charge_ratios.extend_from_slice(&self.charge_ratios);
+        snap.present.clear();
+        snap.present.extend_from_slice(&self.present);
+        snap.throttled.clear();
+        snap.throttled.extend_from_slice(&self.throttled);
+        snap.profile_kinds.clear();
+        snap.profile_kinds
+            .extend(self.profiles.iter().map(|p| p.kind));
+        snap.thermal_throttle = self.thermal_throttle;
+        snap.transfer = self.transfer.map(|t| TransferSnapshot {
+            from: t.from,
+            to: t.to,
+            power_w: t.power_w,
+            remaining_s: t.remaining_s,
+        });
+        snap.cells.clear();
+        snap.cells
+            .extend(self.cells.iter().map(TheveninCell::export_state));
+        snap.gauges.clear();
+        snap.gauges
+            .extend(self.gauges.iter().map(FuelGauge::export_state));
+    }
+
+    /// Restores state captured by [`Microcontroller::snapshot`] into this
+    /// pack. The pack must have been built from the same template (same
+    /// battery count; specs and circuits are configuration and are
+    /// unchecked). After a restore the pack behaves bit-identically to a
+    /// clone taken at the capture point: ratios are written back verbatim
+    /// (not re-realized through the share chain), and the only heap work
+    /// is rebuilding a charging profile whose selection changed.
+    ///
+    /// # Errors
+    ///
+    /// [`PowerError::WrongChannelCount`] when the snapshot's battery count
+    /// does not match the pack's.
+    pub fn restore_from(&mut self, snap: &PackSnapshot) -> Result<(), PowerError> {
+        let n = self.cells.len();
+        if snap.battery_count() != n
+            || snap.gauges.len() != n
+            || snap.discharge_ratios.len() != n
+            || snap.charge_ratios.len() != n
+            || snap.present.len() != n
+            || snap.throttled.len() != n
+            || snap.profile_kinds.len() != n
+        {
+            return Err(PowerError::WrongChannelCount {
+                expected: n,
+                got: snap.battery_count(),
+            });
+        }
+        self.time_s = snap.time_s;
+        self.delivered_j = snap.delivered_j;
+        self.circuit_loss_j = snap.circuit_loss_j;
+        self.cell_heat_j = snap.cell_heat_j;
+        self.unmet_j = snap.unmet_j;
+        self.external_in_j = snap.external_in_j;
+        self.discharge_ratios
+            .copy_from_slice(&snap.discharge_ratios);
+        self.charge_ratios.copy_from_slice(&snap.charge_ratios);
+        self.present.copy_from_slice(&snap.present);
+        self.throttled.copy_from_slice(&snap.throttled);
+        for i in 0..n {
+            if self.profiles[i].kind != snap.profile_kinds[i] {
+                self.profiles[i] =
+                    ChargingProfile::for_spec(snap.profile_kinds[i], self.cells[i].spec());
+            }
+            self.cells[i].import_state(&snap.cells[i]);
+            self.gauges[i].import_state(&snap.gauges[i]);
+        }
+        self.thermal_throttle = snap.thermal_throttle;
+        self.transfer = snap.transfer.map(|t| Transfer {
+            from: t.from,
+            to: t.to,
+            power_w: t.power_w,
+            remaining_s: t.remaining_s,
+        });
+        Ok(())
+    }
+}
+
+/// Realizes a requested ratio tuple through the measured share chain and
+/// renormalizes, writing into `out` without allocating (capacity is
+/// reused), so ratio pushes stay allocation-free on the rollout hot path.
+fn realize_into(chain: &ShareChain, ratios: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    out.extend(ratios.iter().map(|&r| {
+        if r > 0.0 {
+            chain.realized_share(r).unwrap_or(r)
+        } else {
+            0.0
+        }
+    }));
+    let sum: f64 = out.iter().sum();
+    if sum > 0.0 {
+        out.iter_mut().for_each(|r| *r /= sum);
     }
 }
 

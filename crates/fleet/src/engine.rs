@@ -10,6 +10,7 @@
 //! index, the resulting [`FleetReport`] is bit-identical for any worker
 //! count, including 1.
 
+use crate::batch::{EngineKind, SoaScratch};
 use crate::report::FleetReport;
 use crate::sketches::FleetSketches;
 use crate::spec::{FleetSpec, PolicySpec};
@@ -84,7 +85,7 @@ pub struct FleetRunStats {
 }
 
 /// Builds and runs one device, recording into the shard's observer.
-fn run_device(spec: &FleetSpec, device: u64, obs: &Observer) -> DeviceOutcome {
+pub(crate) fn run_device(spec: &FleetSpec, device: u64, obs: &Observer) -> DeviceOutcome {
     let cohort_idx = spec.cohort_of(device);
     let cohort = &spec.cohorts[cohort_idx];
     let seed = spec.device_seed(device);
@@ -155,6 +156,17 @@ fn run_device(spec: &FleetSpec, device: u64, obs: &Observer) -> DeviceOutcome {
         }
     };
 
+    outcome_from(&micro, device, cohort_idx, &result)
+}
+
+/// Folds a finished device run into its [`DeviceOutcome`] (shared by the
+/// scalar and SoA drivers).
+pub(crate) fn outcome_from(
+    micro: &Microcontroller,
+    device: u64,
+    cohort_idx: usize,
+    result: &sdb_core::scheduler::SimResult,
+) -> DeviceOutcome {
     let statuses = micro.query_battery_status();
     let cycle_counts: Vec<u32> = statuses.iter().map(|s| s.cycle_count).collect();
     let specs: Vec<&sdb_battery_model::spec::BatterySpec> =
@@ -186,6 +198,39 @@ fn run_device(spec: &FleetSpec, device: u64, obs: &Observer) -> DeviceOutcome {
 pub fn run_fleet(spec: &FleetSpec, threads: usize) -> Result<(FleetReport, FleetRunStats), String> {
     let (report, stats, _) = run_fleet_captured(spec, threads, false)?;
     Ok((report, stats))
+}
+
+/// [`run_fleet`] with an explicit engine choice: the tick-by-tick scalar
+/// reference, or the SoA fast path ([`crate::batch`]) that fast-forwards
+/// quiescent devices within a documented bound. Either engine's report is
+/// bit-identical at any thread count.
+///
+/// # Errors
+///
+/// Returns the spec validation error, or a message if a worker panicked.
+pub fn run_fleet_with_engine(
+    spec: &FleetSpec,
+    threads: usize,
+    engine: EngineKind,
+) -> Result<(FleetReport, FleetRunStats), String> {
+    let (report, stats, _) = run_fleet_inner_with(spec, threads, false, None, engine)?;
+    Ok((report, stats))
+}
+
+/// [`run_fleet_captured`] with an explicit engine choice.
+///
+/// # Errors
+///
+/// As [`run_fleet_with_engine`]; additionally, event capture requires the
+/// scalar engine (fast-forwarded ticks emit no step events, so a captured
+/// SoA stream would be silently incomplete).
+pub fn run_fleet_captured_with_engine(
+    spec: &FleetSpec,
+    threads: usize,
+    capture_events: bool,
+    engine: EngineKind,
+) -> Result<(FleetReport, FleetRunStats, Option<Vec<DeviceEvent>>), String> {
+    run_fleet_inner_with(spec, threads, capture_events, None, engine)
 }
 
 /// [`run_fleet`], optionally capturing the full device-tagged event stream.
@@ -240,7 +285,24 @@ fn run_fleet_inner(
     capture_events: bool,
     live: Option<&MetricsRegistry>,
 ) -> Result<(FleetReport, FleetRunStats, Option<Vec<DeviceEvent>>), String> {
+    run_fleet_inner_with(spec, threads, capture_events, live, EngineKind::Scalar)
+}
+
+fn run_fleet_inner_with(
+    spec: &FleetSpec,
+    threads: usize,
+    capture_events: bool,
+    live: Option<&MetricsRegistry>,
+    engine: EngineKind,
+) -> Result<(FleetReport, FleetRunStats, Option<Vec<DeviceEvent>>), String> {
     spec.validate()?;
+    if capture_events && engine == EngineKind::Soa {
+        return Err(
+            "event capture requires the scalar engine (--engine scalar): fast-forwarded \
+             ticks emit no step events"
+                .to_owned(),
+        );
+    }
     let threads = threads.max(1);
     let start = Instant::now();
     // Main-thread orchestration scope; worker device trees flush into the
@@ -280,6 +342,10 @@ fn run_fleet_inner(
                         .expect("fresh observer has a registry")
                         .counter("sdb_fleet_devices_total", &[]);
                     let mut sketches = FleetSketches::new();
+                    // SoA lane arrays are shard-local and reused across
+                    // the shard's devices.
+                    let mut soa_scratch =
+                        (engine == EngineKind::Soa).then(|| SoaScratch::new(spec.cohorts.len()));
                     // Pre-size for the even-split case; the queue handles skew.
                     let mut outcomes = Vec::with_capacity(spec.devices / threads + 1);
                     loop {
@@ -307,7 +373,12 @@ fn run_fleet_inner(
                         } else {
                             sdb_prof::device_scope(0)
                         };
-                        let outcome = run_device(spec, i as u64, &obs);
+                        let outcome = match soa_scratch.as_mut() {
+                            Some(scratch) => {
+                                crate::batch::run_device_soa(spec, i as u64, &obs, scratch)
+                            }
+                            None => run_device(spec, i as u64, &obs),
+                        };
                         drop(prof_dev);
                         drop(span);
                         sketches.observe(&outcome);

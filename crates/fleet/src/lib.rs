@@ -44,12 +44,17 @@
 //! assert_eq!(report.to_json(), again.to_json());
 //! ```
 
+pub mod batch;
 pub mod engine;
 pub mod report;
 pub mod sketches;
 pub mod spec;
 
-pub use engine::{run_fleet, run_fleet_captured, run_fleet_live, DeviceOutcome, FleetRunStats};
+pub use batch::{run_trace_soa, EngineKind};
+pub use engine::{
+    run_fleet, run_fleet_captured, run_fleet_captured_with_engine, run_fleet_live,
+    run_fleet_with_engine, DeviceOutcome, FleetRunStats,
+};
 pub use report::{CohortReport, DistSummary, FleetReport};
 pub use sketches::{
     render_deltas_json, render_deltas_text, FleetSketches, SketchDelta, FLEET_SKETCH_ALPHA,

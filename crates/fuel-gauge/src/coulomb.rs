@@ -102,6 +102,20 @@ impl CoulombCounter {
     pub fn reset_net(&mut self) {
         self.net_c = 0.0;
     }
+
+    /// Raw accumulator state for snapshotting:
+    /// `(net_c, discharged_c, charged_c)`.
+    #[must_use]
+    pub fn export_state(&self) -> (f64, f64, f64) {
+        (self.net_c, self.discharged_c, self.charged_c)
+    }
+
+    /// Restores accumulators captured by [`CoulombCounter::export_state`].
+    pub fn import_state(&mut self, net_c: f64, discharged_c: f64, charged_c: f64) {
+        self.net_c = net_c;
+        self.discharged_c = discharged_c;
+        self.charged_c = charged_c;
+    }
 }
 
 #[cfg(test)]

@@ -340,6 +340,91 @@ impl FuelGauge {
     pub fn capacity_observations(&self) -> u32 {
         self.capacity_observations
     }
+
+    /// The ADC/recalibration configuration this gauge was built with.
+    #[must_use]
+    pub fn config(&self) -> GaugeConfig {
+        self.config
+    }
+
+    /// Exports the gauge's full mutable state for bit-exact snapshotting.
+    /// Configuration (ADC config, spec) and observability handles are not
+    /// captured; the OCP curve cursor is a value-neutral cache.
+    #[must_use]
+    pub fn export_state(&self) -> GaugeStateSnapshot {
+        let (net_c, discharged_c, charged_c) = self.counter.export_state();
+        GaugeStateSnapshot {
+            net_c,
+            discharged_c,
+            charged_c,
+            soc_estimate: self.soc_estimate,
+            rest_s: self.rest_s,
+            last_v: self.last_v,
+            last_i: self.last_i,
+            cycle_accum: self.cycle_accum,
+            cycles: self.cycles,
+            anchor_soc: self.anchor_soc,
+            learned_capacity_ah: self.learned_capacity_ah,
+            capacity_observations: self.capacity_observations,
+            fault: self.fault,
+            fault_elapsed_s: self.fault_elapsed_s,
+            fault_frozen_soc: self.fault_frozen_soc,
+        }
+    }
+
+    /// Restores state captured by [`FuelGauge::export_state`].
+    pub fn import_state(&mut self, snap: &GaugeStateSnapshot) {
+        self.counter
+            .import_state(snap.net_c, snap.discharged_c, snap.charged_c);
+        self.soc_estimate = snap.soc_estimate;
+        self.rest_s = snap.rest_s;
+        self.last_v = snap.last_v;
+        self.last_i = snap.last_i;
+        self.cycle_accum = snap.cycle_accum;
+        self.cycles = snap.cycles;
+        self.anchor_soc = snap.anchor_soc;
+        self.learned_capacity_ah = snap.learned_capacity_ah;
+        self.capacity_observations = snap.capacity_observations;
+        self.fault = snap.fault;
+        self.fault_elapsed_s = snap.fault_elapsed_s;
+        self.fault_frozen_soc = snap.fault_frozen_soc;
+    }
+}
+
+/// Plain-data capture of one gauge's mutable state (see
+/// [`FuelGauge::export_state`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaugeStateSnapshot {
+    /// Coulomb counter net charge, coulombs.
+    pub net_c: f64,
+    /// Lifetime discharge throughput, coulombs.
+    pub discharged_c: f64,
+    /// Lifetime charge throughput, coulombs.
+    pub charged_c: f64,
+    /// Estimated state of charge.
+    pub soc_estimate: f64,
+    /// Accumulated rest time toward OCV recalibration, seconds.
+    pub rest_s: f64,
+    /// Last measured (quantized) terminal voltage, volts.
+    pub last_v: f64,
+    /// Last measured current, amps.
+    pub last_i: f64,
+    /// Cumulative charge fraction toward the next gauge-side cycle.
+    pub cycle_accum: f64,
+    /// Gauge-side cycle count.
+    pub cycles: u32,
+    /// SoC anchor from the last OCV recalibration.
+    pub anchor_soc: Option<f64>,
+    /// Learned full capacity, amp-hours.
+    pub learned_capacity_ah: f64,
+    /// Capacity observations folded into the learned estimate.
+    pub capacity_observations: u32,
+    /// Active measurement fault, if any.
+    pub fault: Option<GaugeFault>,
+    /// Time the fault has been active, seconds.
+    pub fault_elapsed_s: f64,
+    /// SoC frozen by a stuck-SoC fault.
+    pub fault_frozen_soc: f64,
 }
 
 #[cfg(test)]

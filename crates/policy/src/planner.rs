@@ -22,10 +22,12 @@ use crate::forecast::{Forecaster, HistoryForecaster, OracleForecaster};
 use crate::tuner::{forecast_stats, tuned_directive};
 use sdb_core::policy::{DischargeDirective, PolicyInput};
 use sdb_core::runtime::SdbRuntime;
-use sdb_core::scheduler::{run_trace, SimOptions};
+use sdb_core::scheduler::{run_trace_prepared, SimOptions};
 use sdb_core::{LookaheadPolicy, PlanUpdate};
+use sdb_emulator::{Microcontroller, PackSnapshot};
 use sdb_observe::Observer;
 use sdb_workloads::behavior::UserArchetype;
+use sdb_workloads::traces::TracePoint;
 use sdb_workloads::Trace;
 use std::sync::Arc;
 
@@ -102,6 +104,33 @@ fn loss_tol(loss_j: f64) -> f64 {
     1e-9 + 1e-12 * loss_j.abs()
 }
 
+/// Reusable rollout state: one scratch emulator + runtime pair shared by
+/// every candidate, entered through snapshot/restore instead of a
+/// per-candidate pack clone. After the first rollout warms the buffers,
+/// a full candidate sweep performs zero heap allocations.
+struct RolloutScratch {
+    micro: Microcontroller,
+    runtime: SdbRuntime,
+    snap: PackSnapshot,
+    input: PolicyInput,
+}
+
+impl RolloutScratch {
+    fn new(live: &Microcontroller) -> Self {
+        let mut micro = live.clone();
+        micro.set_observer(Observer::disabled());
+        let mut runtime = SdbRuntime::new(micro.battery_count());
+        runtime.set_observer(Observer::disabled());
+        let input = PolicyInput::from_micro(&micro);
+        Self {
+            micro,
+            runtime,
+            snap: PackSnapshot::default(),
+            input,
+        }
+    }
+}
+
 /// The receding-horizon planner. Implements [`LookaheadPolicy`]; drive it
 /// with [`sdb_core::scheduler::run_trace_planned`].
 pub struct Planner {
@@ -112,6 +141,8 @@ pub struct Planner {
     planned_once: bool,
     since_plan_s: f64,
     replans: u64,
+    /// Lazily built rollout scratch (sized to the pack on first plan).
+    scratch: Option<RolloutScratch>,
 }
 
 impl Planner {
@@ -126,6 +157,7 @@ impl Planner {
             planned_once: false,
             since_plan_s: 0.0,
             replans: 0,
+            scratch: None,
         }
     }
 
@@ -172,29 +204,45 @@ impl Planner {
         self.forecaster.mae_w()
     }
 
-    /// Rolls `forecast` forward from a clone of `micro` under a fixed
-    /// directive `d` and scores the outcome. Rollouts run fully
-    /// unobserved so planning leaves no trace in metrics or event
-    /// streams.
-    fn rollout(&self, micro: &sdb_emulator::Microcontroller, d: f64, forecast: &Trace) -> Score {
+    /// Rolls pre-resampled forecast `points` forward from a snapshot of
+    /// `micro` under a fixed directive `d` and scores the outcome.
+    /// Rollouts run fully unobserved so planning leaves no trace in
+    /// metrics or event streams, and reuse one scratch emulator/runtime
+    /// pair restored through [`PackSnapshot`] instead of cloning the
+    /// pack per candidate — zero heap allocations per rollout once the
+    /// scratch is warm.
+    fn rollout(&mut self, micro: &Microcontroller, d: f64, points: &[TracePoint]) -> Score {
         // Nested profiler scope: the rollout's own trace/micro steps land
         // under planner_rollout in the phase tree, separated from the
         // live simulation's steps.
         let _prof = sdb_prof::sub(sdb_prof::Phase::PlannerRollout);
-        let mut m = micro.clone();
-        m.set_observer(Observer::disabled());
-        let mut rt = SdbRuntime::new(m.battery_count());
-        rt.set_observer(Observer::disabled());
-        rt.set_update_period(self.cfg.update_period_s);
-        rt.set_discharge_directive(DischargeDirective::new(d));
-        let res = run_trace(
-            &mut m,
-            &mut rt,
-            forecast,
+        let stale = self
+            .scratch
+            .as_ref()
+            .is_none_or(|s| s.micro.battery_count() != micro.battery_count());
+        if stale {
+            self.scratch = Some(RolloutScratch::new(micro));
+        }
+        let s = self.scratch.as_mut().expect("just ensured");
+        micro.snapshot_into(&mut s.snap);
+        s.micro
+            .restore_from(&s.snap)
+            .expect("scratch pack matches the live pack's shape");
+        s.runtime.set_update_period(self.cfg.update_period_s);
+        s.runtime
+            .set_discharge_directive(DischargeDirective::new(d));
+        // A fresh runtime evaluates on its first tick; restore that state
+        // so the reused runtime behaves identically to a per-candidate one.
+        s.runtime.force_policy_refresh();
+        let res = run_trace_prepared(
+            &mut s.micro,
+            &mut s.runtime,
+            points,
             &SimOptions {
                 max_dt_s: self.cfg.plan_dt_s,
                 stop_on_brownout: true,
             },
+            &mut s.input,
         );
         Score {
             life_s: res.battery_life_s(),
@@ -236,9 +284,12 @@ impl LookaheadPolicy for Planner {
         if !cands.iter().any(|c| (c - self.current_d).abs() < 1e-12) {
             cands.push(self.current_d);
         }
+        // One resample shared by every candidate (run_trace would redo it
+        // per rollout); scores are bit-identical to run_trace rollouts.
+        let resampled = forecast.resampled(self.cfg.plan_dt_s);
         let scores: Vec<Score> = cands
             .iter()
-            .map(|&d| self.rollout(micro, d, &forecast))
+            .map(|&d| self.rollout(micro, d, resampled.points()))
             .collect();
         let cur_idx = cands
             .iter()
@@ -359,15 +410,35 @@ mod tests {
     fn rollouts_leave_live_state_untouched() {
         let micro = hybrid_pack(1.0);
         let before = micro.cells().iter().map(|c| c.soc()).collect::<Vec<_>>();
-        let planner = Planner::oracle(
+        let mut planner = Planner::oracle(
             PlannerConfig::default(),
             Arc::new(Trace::constant(2.0, 600.0)),
         );
-        let _ = planner.rollout(&micro, 0.5, &Trace::constant(2.0, 600.0));
+        let points = Trace::constant(2.0, 600.0).resampled(60.0);
+        let _ = planner.rollout(&micro, 0.5, points.points());
         let after = micro.cells().iter().map(|c| c.soc()).collect::<Vec<_>>();
         assert_eq!(before, after);
         // And the live runtime push counter is unaffected by planning.
         let rt = SdbRuntime::new(micro.battery_count());
         assert_eq!(rt.pushes(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_rollouts_are_repeatable() {
+        // The same candidate scored twice through the shared scratch must
+        // produce bit-identical scores: restore fully resets the pack.
+        let micro = hybrid_pack(0.8);
+        let mut planner = Planner::oracle(
+            PlannerConfig::default(),
+            Arc::new(Trace::constant(4.0, 3600.0)),
+        );
+        let points = Trace::constant(4.0, 3600.0).resampled(60.0);
+        let a = planner.rollout(&micro, 0.7, points.points());
+        let b = planner.rollout(&micro, 0.2, points.points());
+        let a2 = planner.rollout(&micro, 0.7, points.points());
+        let b2 = planner.rollout(&micro, 0.2, points.points());
+        assert_eq!(a, a2, "rollout leaked state between candidates");
+        assert_eq!(b, b2);
+        assert_ne!(a, b, "distinct directives should score differently");
     }
 }

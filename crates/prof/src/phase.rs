@@ -48,10 +48,15 @@ pub enum Phase {
     ObserverEmit = 14,
     /// Deterministic shard merge into the fleet report.
     ReportMerge = 15,
+    /// One scalar sync step of the SoA fleet engine (the hybrid
+    /// driver's per-tick path between fast-forward stretches).
+    SoaStep = 16,
+    /// One closed-form multi-tick advance of a quiescent SoA lane.
+    FastForward = 17,
 }
 
 /// Number of distinct phases (size of per-slot child tables).
-pub const PHASE_COUNT: usize = 16;
+pub const PHASE_COUNT: usize = 18;
 
 /// Every phase in enum (render) order.
 pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
@@ -71,6 +76,8 @@ pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
     Phase::GaugeUpdate,
     Phase::ObserverEmit,
     Phase::ReportMerge,
+    Phase::SoaStep,
+    Phase::FastForward,
 ];
 
 impl Phase {
@@ -96,6 +103,8 @@ impl Phase {
             Phase::GaugeUpdate => "gauge_update",
             Phase::ObserverEmit => "observer_emit",
             Phase::ReportMerge => "report_merge",
+            Phase::SoaStep => "soa_step",
+            Phase::FastForward => "fast_forward",
         }
     }
 

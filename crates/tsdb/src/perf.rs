@@ -103,15 +103,34 @@ pub fn ingest(text: &str) -> Result<Vec<PerfMetric>, String> {
                     direction: Direction::LowerIsBetter,
                 });
             }
-            // Optional: the policy_plan bench merges its ns/plan into the
-            // same document (older artifacts won't carry it).
+            // Optional: the policy_plan bench merges its ns/plan (and the
+            // warm-rollout allocation gate) into the same document (older
+            // artifacts won't carry them).
+            if let Some(pp) = doc.get("policy_plan") {
+                if let Some(ns) = pp.get("ns_per_plan").and_then(Value::as_f64) {
+                    out.push(PerfMetric {
+                        key: "micro_step.policy_plan.ns_per_plan".to_owned(),
+                        value: ns,
+                        direction: Direction::LowerIsBetter,
+                    });
+                }
+                if let Some(a) = pp.get("allocs_per_rollout").and_then(Value::as_f64) {
+                    out.push(PerfMetric {
+                        key: "micro_step.policy_plan.allocs_per_rollout".to_owned(),
+                        value: a,
+                        direction: Direction::LowerIsBetter,
+                    });
+                }
+            }
+            // Optional: the SoA fast-forward cycle cost (older artifacts
+            // won't carry it).
             if let Some(ns) = doc
-                .get("policy_plan")
-                .and_then(|p| p.get("ns_per_plan"))
+                .get("soa_step")
+                .and_then(|s| s.get("ns_per_tick"))
                 .and_then(Value::as_f64)
             {
                 out.push(PerfMetric {
-                    key: "micro_step.policy_plan.ns_per_plan".to_owned(),
+                    key: "micro_step.soa_step.ns_per_tick".to_owned(),
                     value: ns,
                     direction: Direction::LowerIsBetter,
                 });
@@ -162,6 +181,40 @@ pub fn ingest(text: &str) -> Result<Vec<PerfMetric>, String> {
                     value: dps,
                     direction: Direction::HigherIsBetter,
                 });
+            }
+            // Optional: the scalar-vs-SoA engine head-to-head (older
+            // artifacts won't carry it). Throughput and speedup are
+            // higher-is-better; the fast-forward fraction is tracked as a
+            // coverage metric (a drop means the quiescence classifier
+            // started rejecting lanes it used to accept).
+            if let Some(soa) = doc.get("soa") {
+                for (section, label) in [
+                    ("quiescent", "quiescent"),
+                    ("default_population", "default"),
+                ] {
+                    let Some(s) = soa.get(section) else { continue };
+                    if let Some(dps) = s.get("soa_devices_per_sec").and_then(Value::as_f64) {
+                        out.push(PerfMetric {
+                            key: format!("fleet.soa.{label}.devices_per_sec"),
+                            value: dps,
+                            direction: Direction::HigherIsBetter,
+                        });
+                    }
+                    if let Some(sp) = s.get("soa_speedup").and_then(Value::as_f64) {
+                        out.push(PerfMetric {
+                            key: format!("fleet.soa.{label}.speedup"),
+                            value: sp,
+                            direction: Direction::HigherIsBetter,
+                        });
+                    }
+                    if let Some(ff) = s.get("ff_tick_fraction").and_then(Value::as_f64) {
+                        out.push(PerfMetric {
+                            key: format!("fleet.soa.{label}.ff_tick_fraction"),
+                            value: ff,
+                            direction: Direction::HigherIsBetter,
+                        });
+                    }
+                }
             }
             Ok(out)
         }
@@ -416,6 +469,69 @@ mod tests {
         assert_eq!(pp.direction, Direction::LowerIsBetter);
         // Absent from older artifacts → simply not emitted.
         assert_eq!(ingest(MICRO).expect("parses").len(), 3);
+    }
+
+    #[test]
+    fn ingest_picks_up_soa_step_and_rollout_alloc_metrics() {
+        let merged = MICRO.replace(
+            ",\"host_cpus\"",
+            ",\"policy_plan\":{\"ns_per_plan\":123456.0,\"allocs_per_rollout\":0.0},\
+             \"soa_step\":{\"ns_per_tick\":9.4,\"ff_fraction\":0.98},\"host_cpus\"",
+        );
+        let metrics = ingest(&merged).expect("merged micro parses");
+        let soa = metrics
+            .iter()
+            .find(|m| m.key == "micro_step.soa_step.ns_per_tick")
+            .expect("soa_step metric ingested");
+        assert_eq!(soa.value, 9.4);
+        assert_eq!(soa.direction, Direction::LowerIsBetter);
+        let allocs = metrics
+            .iter()
+            .find(|m| m.key == "micro_step.policy_plan.allocs_per_rollout")
+            .expect("rollout alloc metric ingested");
+        assert_eq!(allocs.value, 0.0);
+        assert_eq!(allocs.direction, Direction::LowerIsBetter);
+        // Absent from older artifacts → simply not emitted.
+        assert!(!ingest(MICRO)
+            .expect("parses")
+            .iter()
+            .any(|m| m.key.starts_with("micro_step.soa_step")));
+    }
+
+    #[test]
+    fn ingest_picks_up_soa_engine_head_to_head() {
+        let merged = FLEET.replace(
+            ",\"host_cpus\"",
+            ",\"soa\":{\"devices\":512,\"threads\":8,\"quiescent\":{\"trace_hours\":8.0,\
+             \"scalar_devices_per_sec\":1400.0,\"soa_devices_per_sec\":22000.0,\
+             \"ff_tick_fraction\":0.97,\"soa_speedup\":15.7,\"soa_ge_3x\":true},\
+             \"default_population\":{\"trace_hours\":2.0,\"scalar_devices_per_sec\":4800.0,\
+             \"soa_devices_per_sec\":8700.0,\"ff_tick_fraction\":0.44,\"soa_speedup\":1.8}},\
+             \"host_cpus\"",
+        );
+        let metrics = ingest(&merged).expect("merged fleet parses");
+        let dps = metrics
+            .iter()
+            .find(|m| m.key == "fleet.soa.quiescent.devices_per_sec")
+            .expect("quiescent throughput ingested");
+        assert_eq!(dps.value, 22000.0);
+        assert_eq!(dps.direction, Direction::HigherIsBetter);
+        let sp = metrics
+            .iter()
+            .find(|m| m.key == "fleet.soa.default.speedup")
+            .expect("default-population speedup ingested");
+        assert_eq!(sp.value, 1.8);
+        let ff = metrics
+            .iter()
+            .find(|m| m.key == "fleet.soa.quiescent.ff_tick_fraction")
+            .expect("ff fraction ingested");
+        assert_eq!(ff.value, 0.97);
+        assert_eq!(ff.direction, Direction::HigherIsBetter);
+        // Absent from older artifacts → simply not emitted.
+        assert!(!ingest(FLEET)
+            .expect("parses")
+            .iter()
+            .any(|m| m.key.starts_with("fleet.soa")));
     }
 
     #[test]

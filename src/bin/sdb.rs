@@ -7,8 +7,9 @@
 //! sdb sim    --pack phone --trace-file captured.csv   (CSV: dur_s,load_w[,external_w])
 //! sdb charge --pack tablet-hybrid --watts 45 [--directive <0..1>] [--target <pct>]
 //! sdb status --pack phone [--soc <0..1>]     show QueryBatteryStatus + ACPI view
-//! sdb fleet  --devices 10000 --threads 8 --seed 42 [--hours H] [--policy greedy|planned|oracle] [--json] [--metrics-out <path>]
-//!            [--events-out <jsonl>] [--trace-out <jsonl>]   (trace-out also writes a Perfetto-loadable .chrome.json)
+//! sdb fleet  --devices 10000 --threads 8 --seed 42 [--hours H] [--policy greedy|planned|oracle] [--engine scalar|soa]
+//!            [--json] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]
+//!            (trace-out also writes a Perfetto-loadable .chrome.json; --engine soa fast-forwards quiescent devices)
 //! sdb policy [--seed N] [--json] [--out <path>] [--metrics-out <path>]  greedy vs planner vs oracle head-to-head over the scenario corpus
 //! sdb analyze --trace <jsonl> [--json]       replay a recorded trace through the health rules
 //! sdb analyze --devices 200 --seed 42 [--hours H] [--threads N] [--json]   run a fleet inline and analyze it
@@ -18,7 +19,7 @@
 //!            HTTP surface: /metrics (Prometheus), /query (JSON), /profile (live phase tree), /healthz, /shutdown;
 //!            --telemetry runs a fleet in the background with live counters + stored series
 //! sdb profile [--scenario fleet|sim|chaos|policy] [--devices N] [--threads N] [--seed N] [--hours H] [--policy ...]
-//!            [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]
+//!            [--engine scalar|soa] [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]
 //!            run a scenario under the phase profiler and print the hierarchical phase tree
 //!            (counts are bit-identical across thread counts; `flame` emits collapsed stacks)
 //! sdb perf   [--history PERF_HISTORY.jsonl] [--micro BENCH_micro.json] [--fleet BENCH_fleet.json]
@@ -189,8 +190,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>|planned|oracle] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--policy greedy|planned|oracle] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]
-  sdb policy [--seed <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--policy greedy|planned|oracle] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb profile [--scenario fleet|sim|chaos|policy] [--devices <N>] [--threads <N>] [--seed <N>] [--hours <H>] [--policy ...] [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]\n  sdb --version"
+        "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>|planned|oracle] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--policy greedy|planned|oracle] [--engine scalar|soa] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]
+  sdb policy [--seed <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--policy greedy|planned|oracle] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb profile [--scenario fleet|sim|chaos|policy] [--devices <N>] [--threads <N>] [--seed <N>] [--hours <H>] [--policy ...] [--engine scalar|soa] [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]\n  sdb --version"
     );
     ExitCode::FAILURE
 }
@@ -210,6 +211,18 @@ fn write_metrics(registry: &MetricsRegistry, path: &str) -> Result<(), ()> {
     }
     eprintln!("wrote metrics to {path}");
     Ok(())
+}
+
+/// Parses `--engine scalar|soa` (default scalar). Shared by `sdb fleet`
+/// and `sdb profile --scenario fleet`.
+fn parse_engine(flags: &HashMap<String, String>) -> Result<fleet::EngineKind, ExitCode> {
+    match flags.get("engine") {
+        None => Ok(fleet::EngineKind::Scalar),
+        Some(s) => fleet::EngineKind::parse(s).map_err(|e| {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }),
+    }
 }
 
 /// Build identity baked in at compile time by `build.rs` (each field
@@ -534,14 +547,23 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    let capture = flags.contains_key("trace-out") || flags.contains_key("events-out");
-    let (report, stats, events) = match fleet::run_fleet_captured(&spec, threads, capture) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("fleet run failed: {e}");
-            return ExitCode::FAILURE;
-        }
+    let engine = match parse_engine(flags) {
+        Ok(e) => e,
+        Err(code) => return code,
     };
+    let capture = flags.contains_key("trace-out") || flags.contains_key("events-out");
+    if capture && engine == fleet::EngineKind::Soa {
+        eprintln!("--events-out/--trace-out require --engine scalar (fast-forwarded ticks emit no step events)");
+        return ExitCode::FAILURE;
+    }
+    let (report, stats, events) =
+        match fleet::run_fleet_captured_with_engine(&spec, threads, capture, engine) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fleet run failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
 
     if let Some(events) = &events {
         let jsonl = sdbtrace::to_jsonl(events);
@@ -580,9 +602,10 @@ fn cmd_fleet(flags: &HashMap<String, String>) -> ExitCode {
         s
     } else {
         format!(
-            "{}threads: {}  wall: {:.2} s  throughput: {:.0} devices/sec\n",
+            "{}threads: {}  engine: {}  wall: {:.2} s  throughput: {:.0} devices/sec\n",
             report.render_text(),
             stats.threads,
+            engine.name(),
             stats.wall_s,
             stats.devices_per_sec
         )
@@ -1094,10 +1117,17 @@ fn cmd_profile(flags: &HashMap<String, String>) -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            match fleet::run_fleet(&spec, threads) {
+            let engine = match parse_engine(flags) {
+                Ok(e) => e,
+                Err(code) => return code,
+            };
+            match fleet::run_fleet_with_engine(&spec, threads, engine) {
                 Ok((report, stats)) => eprintln!(
-                    "profiled fleet: {} devices, {} threads, {:.2} s wall",
-                    report.devices, stats.threads, stats.wall_s
+                    "profiled fleet: {} devices, {} threads, {} engine, {:.2} s wall",
+                    report.devices,
+                    stats.threads,
+                    engine.name(),
+                    stats.wall_s
                 ),
                 Err(e) => {
                     eprintln!("fleet run failed: {e}");
