@@ -1,0 +1,563 @@
+//! The sharded, resumable campaign runner.
+//!
+//! Work distribution follows the sdb-fleet engine: one atomic index over
+//! the pending `(cell, device)` unit list, scoped worker threads, shard-
+//! local accumulation, and a post-join sort by `(cell, device)` — so the
+//! outcome matrix is byte-identical for any thread count.
+//!
+//! Resume: with a checkpoint path, completed units are appended to the
+//! log as they finish (each line round-trips the device's end-state
+//! [`sdb_emulator::PackSnapshot`] and outcome metrics bit-exactly). A
+//! new run under the same spec parses the log, skips completed units,
+//! and merges old and new records before folding — producing the same
+//! report a straight-through run would.
+
+use crate::checkpoint;
+use crate::report::{CampaignReport, DeviceRecord};
+use crate::spec::{self, CampaignSpec, Cell, CellPolicy};
+use sdb_chaos::{FaultPlan, InvariantChecker, PlanExecutor};
+use sdb_core::policy::DischargeDirective;
+use sdb_core::runtime::{ResilienceConfig, SdbRuntime};
+use sdb_core::scheduler::{
+    run_trace_linked_planned_with, run_trace_linked_with, run_trace_observed, run_trace_planned,
+    LinkedSimOptions, SimOptions, SimResult,
+};
+use sdb_emulator::link::Link;
+use sdb_emulator::micro::Microcontroller;
+use sdb_emulator::pack::PackBuilder;
+use sdb_emulator::{QuiescenceConfig, SoaCohort};
+use sdb_fleet::run_trace_soa;
+use sdb_fleet::spec::WorkloadSpec;
+use sdb_fleet::EngineKind;
+use sdb_policy::{HistoryForecaster, Planner, PlannerConfig};
+use sdb_rng::derive_seed;
+use sdb_workloads::traces::Trace;
+use std::collections::HashSet;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The greedy policy's fixed discharge-directive blend.
+pub const GREEDY_BLEND: f64 = 0.5;
+
+/// Planned policy: lookahead horizon, seconds.
+pub const PLANNER_HORIZON_S: f64 = 1800.0;
+
+/// Planned policy: re-plan cadence, seconds.
+pub const PLANNER_REPLAN_S: f64 = 600.0;
+
+/// Status heartbeat period on the linked (faulted) driver, seconds.
+pub const STATUS_PERIOD_S: f64 = 30.0;
+
+/// Seed offset separating planner history days from the evaluated trace
+/// (same salt as the fleet engine, so campaign planner cells and fleet
+/// planner cohorts train the same way).
+const PLANNER_HISTORY_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// History days the planned policy's forecaster folds in.
+const PLANNER_HISTORY_DAYS: u64 = 7;
+
+/// Runner knobs that do not affect the outcome matrix.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignOptions {
+    /// Worker threads (0/1 both mean single-threaded).
+    pub threads: usize,
+    /// Checkpoint log to append to (and resume from, if it exists).
+    pub checkpoint: Option<PathBuf>,
+    /// Stop claiming new units after this many *newly completed* device
+    /// simulations — the deterministic kill switch the resume property
+    /// test interrupts at every boundary.
+    pub stop_after: Option<usize>,
+}
+
+/// Outcome of [`run_campaign`].
+#[derive(Debug)]
+pub enum CampaignRun {
+    /// Every unit ran (or was resumed); the folded report.
+    Complete(Box<CampaignReport>),
+    /// The stop budget expired before the matrix finished.
+    Interrupted {
+        /// Units completed across this run and any resumed checkpoint.
+        completed: usize,
+        /// Total units in the matrix.
+        total: usize,
+    },
+}
+
+/// Runs (or resumes) a campaign.
+///
+/// # Errors
+///
+/// Returns the spec validation error, checkpoint I/O or corruption
+/// errors, or a message if a worker panicked.
+pub fn run_campaign(spec: &CampaignSpec, opts: &CampaignOptions) -> Result<CampaignRun, String> {
+    let cells = spec.cells()?;
+    let total = cells.len() * spec.devices_per_cell;
+    let config = spec.config_digest();
+    let prof_run = sdb_prof::scope(sdb_prof::Phase::CampaignRun);
+
+    // Resume: parse any existing checkpoint under this exact config.
+    let mut done: Vec<DeviceRecord> = Vec::new();
+    if let Some(path) = &opts.checkpoint {
+        if path.exists() {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("read checkpoint {}: {e}", path.display()))?;
+            if !text.is_empty() {
+                done = checkpoint::parse(&text, config)?;
+            }
+        }
+    }
+    // Deduplicate (a kill between append and claim bookkeeping can in
+    // principle log a unit twice; last write wins) and index.
+    done.sort_by_key(|r| (r.cell, r.device));
+    done.dedup_by_key(|r| (r.cell, r.device));
+    let done_set: HashSet<(usize, u64)> = done.iter().map(|r| (r.cell, r.device)).collect();
+
+    // The pending unit list, in deterministic (cell, device) order. The
+    // stop budget cuts a prefix of *this* list, so which units a partial
+    // run completes is independent of thread scheduling.
+    let pending: Vec<(usize, u64)> = cells
+        .iter()
+        .flat_map(|c| (0..spec.devices_per_cell as u64).map(move |d| (c.index, d)))
+        .filter(|unit| !done_set.contains(unit))
+        .collect();
+
+    let writer: Option<Mutex<std::fs::File>> = match &opts.checkpoint {
+        Some(path) => {
+            let fresh = !path.exists()
+                || std::fs::metadata(path)
+                    .map(|m| m.len() == 0)
+                    .unwrap_or(true);
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("open checkpoint {}: {e}", path.display()))?;
+            if fresh {
+                file.write_all(checkpoint::header(config).as_bytes())
+                    .map_err(|e| format!("write checkpoint header: {e}"))?;
+            }
+            Some(Mutex::new(file))
+        }
+        None => None,
+    };
+
+    let claim_budget = opts.stop_after.unwrap_or(usize::MAX);
+    let threads = opts.threads.max(1);
+    let next = AtomicUsize::new(0);
+    let writer = writer.as_ref();
+    let cells_ref = &cells;
+    let pending_ref = &pending;
+
+    let shards: Vec<Vec<DeviceRecord>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|shard| {
+                let next = &next;
+                s.spawn(move || -> Result<Vec<DeviceRecord>, String> {
+                    sdb_prof::set_shard(shard as u16);
+                    let mut out = Vec::with_capacity(pending_ref.len() / threads + 1);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= pending_ref.len().min(claim_budget) {
+                            break;
+                        }
+                        let (cell_idx, device) = pending_ref[i];
+                        let cell = &cells_ref[cell_idx];
+                        let prof_dev = if sdb_prof::enabled() {
+                            sdb_prof::device_scope(sdb_prof::cohort_id(&cell.seed_key()))
+                        } else {
+                            sdb_prof::device_scope(0)
+                        };
+                        let rec = run_cell_device(spec, cell, device)?;
+                        drop(prof_dev);
+                        if let Some(w) = writer {
+                            let line = checkpoint::record_line(&rec);
+                            let mut f = w.lock().expect("checkpoint writer lock");
+                            f.write_all(line.as_bytes())
+                                .and_then(|()| f.flush())
+                                .map_err(|e| format!("append checkpoint: {e}"))?;
+                        }
+                        out.push(rec);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "campaign worker panicked".to_owned())?
+            })
+            .collect::<Result<Vec<_>, String>>()
+    })?;
+
+    let fresh: usize = shards.iter().map(Vec::len).sum();
+    if claim_budget < pending.len() {
+        drop(prof_run);
+        if sdb_prof::enabled() {
+            sdb_prof::flush_thread();
+        }
+        return Ok(CampaignRun::Interrupted {
+            completed: done.len() + fresh,
+            total,
+        });
+    }
+
+    // Deterministic merge: resumed + fresh records, re-sorted by unit.
+    let mut records = done;
+    records.extend(shards.into_iter().flatten());
+    records.sort_by_key(|r| (r.cell, r.device));
+    debug_assert_eq!(records.len(), total);
+    let report = CampaignReport::from_records(spec, &cells, records);
+    drop(prof_run);
+    if sdb_prof::enabled() {
+        sdb_prof::flush_thread();
+    }
+    Ok(CampaignRun::Complete(Box::new(report)))
+}
+
+/// The per-cell policy driver.
+enum PolicyDriver {
+    Greedy,
+    Planner(Box<Planner>),
+}
+
+fn make_policy(
+    cell: &Cell,
+    scenario: &spec::Scenario,
+    workload: &WorkloadSpec,
+    seed: u64,
+    trace: &std::sync::Arc<Trace>,
+) -> PolicyDriver {
+    match cell.policy {
+        CellPolicy::Greedy => PolicyDriver::Greedy,
+        CellPolicy::Planned => {
+            let history: Vec<std::sync::Arc<Trace>> = (1..=PLANNER_HISTORY_DAYS)
+                .map(|k| workload.build(seed.wrapping_add(k.wrapping_mul(PLANNER_HISTORY_SALT))))
+                .collect();
+            let forecaster =
+                HistoryForecaster::from_history(history.iter().map(std::sync::Arc::as_ref), 0.3);
+            let cfg = PlannerConfig {
+                horizon_s: PLANNER_HORIZON_S,
+                replan_period_s: PLANNER_REPLAN_S,
+                update_period_s: scenario.update_period_s,
+                ..PlannerConfig::default()
+            };
+            PolicyDriver::Planner(Box::new(Planner::new(cfg, Box::new(forecaster))))
+        }
+        CellPolicy::Oracle => {
+            let cfg = PlannerConfig {
+                candidates: 17,
+                update_period_s: scenario.update_period_s,
+                ..PlannerConfig::default()
+            };
+            PolicyDriver::Planner(Box::new(Planner::oracle(cfg, std::sync::Arc::clone(trace))))
+        }
+    }
+}
+
+fn build_pack(template: &sdb_fleet::PackTemplate) -> Microcontroller {
+    let mut builder = PackBuilder::new();
+    for slot in &template.batteries {
+        builder = builder.battery_at(slot.spec.clone(), slot.initial_soc, slot.profile);
+    }
+    builder.build()
+}
+
+/// Whether the pack qualifies for the SoA fast path (no thermal cells —
+/// mirrors the fleet engine's eligibility rule).
+fn soa_eligible(micro: &Microcontroller) -> bool {
+    !micro.cells().iter().any(|c| c.temperature_c().is_some())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_from(
+    cell: &Cell,
+    device: u64,
+    result: &SimResult,
+    micro: &Microcontroller,
+    violations: u64,
+    first_violation: Option<String>,
+    faults_injected: u64,
+    ff_ticks: u64,
+) -> DeviceRecord {
+    let n = result.final_soc.len().max(1) as f64;
+    DeviceRecord {
+        cell: cell.index,
+        device,
+        life_s: result.battery_life_s(),
+        supplied_j: result.supplied_j,
+        unmet_j: result.unmet_j,
+        loss_j: result.total_loss_j(),
+        mean_final_soc: result.final_soc.iter().sum::<f64>() / n,
+        browned_out: result.first_brownout_s.is_some(),
+        violations,
+        faults_injected,
+        ff_ticks,
+        first_violation,
+        snapshot: micro.snapshot().to_bytes(),
+    }
+}
+
+/// Runs one matrix cell's device simulation — a pure function of
+/// `(spec, cell, device)`, independent of which other cells the matrix
+/// holds. Public so the minimizer (and repro tooling) can re-run exactly
+/// one unit.
+///
+/// Driver dispatch:
+///
+/// * **Faulted cells** (`fault != none`) run the linked chaos driver —
+///   fault plan, plan executor, per-step invariant checks, resilience
+///   enabled — for *both* engines: active faults disqualify SoA
+///   fast-forward by construction, so the engines are digest-identical
+///   here and the matrix records that fact instead of pretending the
+///   axis doesn't exist.
+/// * **Fault-free greedy SoA cells** on a non-thermal pack take the
+///   hybrid [`run_trace_soa`] fast path (end-state invariant check; the
+///   fast-forward stretches have no step hook).
+/// * **Everything else** runs the scalar driver with per-step invariant
+///   checks; planner policies fall back to scalar under the SoA engine
+///   exactly as the fleet engine does, so those engine pairs are also
+///   digest-identical.
+///
+/// # Errors
+///
+/// Returns an axis-resolution error (impossible after spec validation).
+pub fn run_cell_device(
+    spec_: &CampaignSpec,
+    cell: &Cell,
+    device: u64,
+) -> Result<DeviceRecord, String> {
+    let _prof = sdb_prof::scope(sdb_prof::Phase::CampaignCell);
+    let scenario = spec::scenario(&cell.scenario)?;
+    let chems = spec::chemistry_pair(&cell.chemistry)?;
+    let intensity = spec::fault_intensity(&cell.fault)?;
+    let template = scenario.pack.with_chemistries(&chems);
+    let seed = spec_.device_seed(cell, device);
+    let workload = WorkloadSpec::Truncated {
+        inner: Box::new(scenario.workload.clone()),
+        max_s: spec_.hours * 3600.0,
+    };
+    let trace = workload.build(seed);
+    let sim = SimOptions::default();
+
+    let micro = build_pack(&template);
+    let n = micro.battery_count();
+    let mut runtime = SdbRuntime::new(n);
+    runtime.set_update_period(scenario.update_period_s);
+    let mut policy = make_policy(cell, &scenario, &workload, seed, &trace);
+
+    if intensity > 0.0 {
+        // Linked chaos driver (both engines; see dispatch docs above).
+        let mut link = Link::ideal(micro);
+        link.seed_faults(derive_seed(seed, 1));
+        runtime.enable_resilience(ResilienceConfig::default());
+        let plan = FaultPlan::generate(derive_seed(seed, 2), trace.duration_s(), intensity, n);
+        let mut exec = PlanExecutor::new(plan);
+        let mut checker = InvariantChecker::for_micro(link.micro());
+        let opts = LinkedSimOptions {
+            sim,
+            status_period_s: STATUS_PERIOD_S,
+        };
+        let result = match &mut policy {
+            PolicyDriver::Greedy => {
+                runtime.set_discharge_directive(DischargeDirective::new(GREEDY_BLEND));
+                run_trace_linked_with(
+                    &mut link,
+                    &mut runtime,
+                    &trace,
+                    &opts,
+                    |t, l| exec.apply(t, l),
+                    |t, l, r| {
+                        checker.check_step(t, r);
+                        checker.check_micro(t, l.micro());
+                    },
+                )
+            }
+            PolicyDriver::Planner(planner) => run_trace_linked_planned_with(
+                &mut link,
+                &mut runtime,
+                &trace,
+                &opts,
+                planner.as_mut(),
+                |t, l| exec.apply(t, l),
+                |t, l, r| {
+                    checker.check_step(t, r);
+                    checker.check_micro(t, l.micro());
+                },
+            ),
+        };
+        let tally = checker.finish();
+        return Ok(record_from(
+            cell,
+            device,
+            &result,
+            link.micro(),
+            tally.violation_count,
+            tally.violations.first().map(ToString::to_string),
+            exec.injected(),
+            0,
+        ));
+    }
+
+    let mut micro = micro;
+    let (result, violations, first_violation, ff_ticks) = match &mut policy {
+        PolicyDriver::Greedy if cell.engine == EngineKind::Soa && soa_eligible(&micro) => {
+            runtime.set_discharge_directive(DischargeDirective::new(GREEDY_BLEND));
+            let mut soa = SoaCohort::new(&micro, 1, QuiescenceConfig::default());
+            let (result, ff) = run_trace_soa(&mut micro, &mut runtime, &trace, &sim, &mut soa);
+            // Fast-forwarded stretches have no step hook; the invariant
+            // surface here is the end state.
+            let mut checker = InvariantChecker::for_micro(&micro);
+            checker.check_micro(result.simulated_s, &micro);
+            let tally = checker.finish();
+            (
+                result,
+                tally.violation_count,
+                tally.violations.first().map(ToString::to_string),
+                ff,
+            )
+        }
+        PolicyDriver::Greedy => {
+            runtime.set_discharge_directive(DischargeDirective::new(GREEDY_BLEND));
+            let mut checker = InvariantChecker::for_micro(&micro);
+            let result = run_trace_observed(&mut micro, &mut runtime, &trace, &sim, |t, r| {
+                checker.check_step(t, r);
+            });
+            checker.check_micro(result.simulated_s, &micro);
+            let tally = checker.finish();
+            (
+                result,
+                tally.violation_count,
+                tally.violations.first().map(ToString::to_string),
+                0,
+            )
+        }
+        PolicyDriver::Planner(planner) => {
+            // Planner cells run the scalar driver under either engine
+            // (the SoA fast path serves greedy policies only, as in the
+            // fleet engine) — their engine pairs are digest-identical.
+            let mut checker = InvariantChecker::for_micro(&micro);
+            let result =
+                run_trace_planned(&mut micro, &mut runtime, &trace, &sim, planner.as_mut());
+            checker.check_micro(result.simulated_s, &micro);
+            let tally = checker.finish();
+            (
+                result,
+                tally.violation_count,
+                tally.violations.first().map(ToString::to_string),
+                0,
+            )
+        }
+    };
+    Ok(record_from(
+        cell,
+        device,
+        &result,
+        &micro,
+        violations,
+        first_violation,
+        0,
+        ff_ticks,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            scenarios: vec!["standby".to_owned()],
+            chemistries: vec!["co".to_owned()],
+            faults: vec!["none".to_owned(), "moderate".to_owned()],
+            policies: vec!["greedy".to_owned()],
+            engines: vec!["scalar".to_owned()],
+            master_seed: 11,
+            hours: 0.5,
+            devices_per_cell: 2,
+        }
+    }
+
+    fn report_of(run: CampaignRun) -> CampaignReport {
+        match run {
+            CampaignRun::Complete(r) => *r,
+            CampaignRun::Interrupted { completed, total } => {
+                panic!("unexpected interrupt at {completed}/{total}")
+            }
+        }
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        let spec = tiny_spec();
+        let r1 = report_of(run_campaign(&spec, &CampaignOptions::default()).unwrap());
+        let r3 = report_of(
+            run_campaign(
+                &spec,
+                &CampaignOptions {
+                    threads: 3,
+                    ..CampaignOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+        assert_eq!(r1, r3);
+        assert_eq!(r1.render_text(), r3.render_text());
+        assert_eq!(r1.to_json(), r3.to_json());
+        assert_eq!(r1.matrix_digest, r3.matrix_digest);
+    }
+
+    #[test]
+    fn cell_outcomes_are_matrix_composition_independent() {
+        // The same cell in a pruned 1-cell matrix digests identically —
+        // the property the minimizer's repro command relies on.
+        let full = tiny_spec();
+        let r_full = report_of(run_campaign(&full, &CampaignOptions::default()).unwrap());
+        let pruned = CampaignSpec {
+            faults: vec!["moderate".to_owned()],
+            ..tiny_spec()
+        };
+        let r_pruned = report_of(run_campaign(&pruned, &CampaignOptions::default()).unwrap());
+        let key = "standby/co/moderate/greedy/scalar";
+        assert_eq!(
+            r_full.cell(key).unwrap().digest,
+            r_pruned.cell(key).unwrap().digest
+        );
+    }
+
+    #[test]
+    fn faulted_cells_inject_and_stay_clean() {
+        let spec = tiny_spec();
+        let report = report_of(run_campaign(&spec, &CampaignOptions::default()).unwrap());
+        assert!(report.total_faults() > 0, "moderate cells must inject");
+        assert_eq!(
+            report.total_violations(),
+            0,
+            "invariants must hold:\n{}",
+            report.render_text()
+        );
+    }
+
+    #[test]
+    fn stop_after_zero_interrupts_immediately() {
+        let spec = tiny_spec();
+        let run = run_campaign(
+            &spec,
+            &CampaignOptions {
+                stop_after: Some(0),
+                ..CampaignOptions::default()
+            },
+        )
+        .unwrap();
+        match run {
+            CampaignRun::Interrupted { completed, total } => {
+                assert_eq!(completed, 0);
+                assert_eq!(total, 4);
+            }
+            CampaignRun::Complete(_) => panic!("expected interrupt"),
+        }
+    }
+}

@@ -210,6 +210,24 @@ impl FaultPlan {
         &self.events
     }
 
+    /// A plan keeping only the events whose index is flagged in `keep`
+    /// (missing flags drop the event). Event order is preserved, so a
+    /// subset plan replays its surviving events at the original times —
+    /// the shrink primitive for delta-debugging a failing chaos run down
+    /// to its minimal fault set.
+    #[must_use]
+    pub fn subset(&self, keep: &[bool]) -> Self {
+        Self {
+            events: self
+                .events
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| keep.get(*i).copied().unwrap_or(false))
+                .map(|(_, ev)| *ev)
+                .collect(),
+        }
+    }
+
     /// Number of scheduled events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -365,6 +383,20 @@ mod tests {
             assert!(ev.start_s >= 0.0 && ev.end_s <= 2.0 * 3600.0);
             assert!(ev.end_s > ev.start_s);
         }
+    }
+
+    #[test]
+    fn subset_preserves_order_and_drops_unflagged() {
+        let plan = FaultPlan::generate(7, 2.0 * 3600.0, 1.0, 3);
+        assert!(plan.len() >= 2, "full intensity over 2 h injects");
+        let keep: Vec<bool> = (0..plan.len()).map(|i| i % 2 == 0).collect();
+        let sub = plan.subset(&keep);
+        assert_eq!(sub.len(), keep.iter().filter(|&&k| k).count());
+        let expected: Vec<_> = plan.events().iter().step_by(2).copied().collect();
+        assert_eq!(sub.events(), expected.as_slice());
+        // Short flag vectors drop the tail; all-false empties the plan.
+        assert_eq!(plan.subset(&[true]).len(), 1);
+        assert!(plan.subset(&[]).is_empty());
     }
 
     #[test]

@@ -356,6 +356,53 @@ pub fn run_trace_linked_with<P, F>(
     runtime: &mut SdbRuntime,
     trace: &Trace,
     opts: &LinkedSimOptions,
+    pre_step: P,
+    on_step: F,
+) -> SimResult
+where
+    P: FnMut(f64, &mut Link),
+    F: FnMut(f64, &Link, &sdb_emulator::micro::StepReport),
+{
+    run_trace_linked_inner(link, runtime, trace, opts, None, pre_step, on_step)
+}
+
+/// As [`run_trace_linked_with`], with a [`LookaheadPolicy`] in the loop —
+/// the linked counterpart of [`run_trace_planned`], so planner-steered
+/// runtimes can be exercised under lossy transport and fault injection
+/// (planner-aware chaos). Before every point the policy may commit a plan
+/// (committed host-side via [`SdbRuntime::commit_plan`]; the resulting
+/// directive still travels over the lossy link like any other push), and
+/// after every step the realized load is fed back through
+/// [`LookaheadPolicy::observe_step`]. With `policy == None` semantics this
+/// driver is [`run_trace_linked_with`]: the no-policy instruction sequence
+/// is preserved bit-for-bit.
+pub fn run_trace_linked_planned_with<P, F>(
+    link: &mut Link,
+    runtime: &mut SdbRuntime,
+    trace: &Trace,
+    opts: &LinkedSimOptions,
+    policy: &mut dyn LookaheadPolicy,
+    pre_step: P,
+    on_step: F,
+) -> SimResult
+where
+    P: FnMut(f64, &mut Link),
+    F: FnMut(f64, &Link, &sdb_emulator::micro::StepReport),
+{
+    run_trace_linked_inner(link, runtime, trace, opts, Some(policy), pre_step, on_step)
+}
+
+/// Shared linked-driver body. With `policy == None` this executes exactly
+/// the instruction sequence the pre-planner linked driver did (the policy
+/// input is a pure read of the micro, so hoisting its construction above
+/// the response drain does not change its value), preserving bit-identical
+/// results for every existing caller.
+fn run_trace_linked_inner<P, F>(
+    link: &mut Link,
+    runtime: &mut SdbRuntime,
+    trace: &Trace,
+    opts: &LinkedSimOptions,
+    mut policy: Option<&mut dyn LookaheadPolicy>,
     mut pre_step: P,
     mut on_step: F,
 ) -> SimResult
@@ -381,14 +428,20 @@ where
         let _span = obs.span(sdb_observe::SpanName::TraceStep);
         let _prof = sdb_prof::step(sdb_prof::Phase::TraceStep);
         pre_step(elapsed, link);
+        let input = PolicyInput::from_micro(link.micro())
+            .with_load(p.load_w)
+            .with_external(p.external_w);
+        if let Some(policy) = policy.as_deref_mut() {
+            let _prof = sdb_prof::sub(sdb_prof::Phase::PolicyPlan);
+            if let Some(plan) = policy.plan(elapsed, link.micro(), &input) {
+                runtime.commit_plan(&plan);
+            }
+        }
         {
             // Link traffic: response drain, runtime tick + supervision
             // over the lossy transport, and the status heartbeat.
             let _prof = sdb_prof::sub(sdb_prof::Phase::LinkStep);
             runtime.observe_responses(&link.take_responses());
-            let input = PolicyInput::from_micro(link.micro())
-                .with_load(p.load_w)
-                .with_external(p.external_w);
             runtime
                 .tick(link, &input, p.dur_s)
                 .expect("link send is local and infallible");
@@ -403,6 +456,9 @@ where
             }
         }
         let report = link.step(p.load_w, p.external_w, p.dur_s);
+        if let Some(policy) = policy.as_deref_mut() {
+            policy.observe_step(elapsed + p.dur_s, p.dur_s, p.load_w);
+        }
 
         let loss_w = report.circuit_loss_w + report.cell_heat_w;
         let mut t = elapsed;
@@ -673,6 +729,43 @@ mod tests {
             result.unmet_j
         );
         assert!(link.stats().dropped > 0);
+    }
+
+    #[test]
+    fn linked_planned_with_inert_policy_matches_plain_linked() {
+        use crate::lookahead::{LookaheadPolicy, PlanUpdate};
+        struct Never;
+        impl LookaheadPolicy for Never {
+            fn plan(
+                &mut self,
+                _t_s: f64,
+                _micro: &Microcontroller,
+                _input: &crate::policy::PolicyInput,
+            ) -> Option<PlanUpdate> {
+                None
+            }
+            fn observe_step(&mut self, _t_s: f64, _dt_s: f64, _load_w: f64) {}
+        }
+        let trace = Trace::constant(4.0, 3600.0);
+        let mut link = Link::ideal(pack(1.0));
+        let mut rt = SdbRuntime::new(2);
+        let plain = run_trace_linked(&mut link, &mut rt, &trace, &LinkedSimOptions::default());
+
+        let mut link2 = Link::ideal(pack(1.0));
+        let mut rt2 = SdbRuntime::new(2);
+        let mut policy = Never;
+        let planned = run_trace_linked_planned_with(
+            &mut link2,
+            &mut rt2,
+            &trace,
+            &LinkedSimOptions::default(),
+            &mut policy,
+            |_, _| {},
+            |_, _, _| {},
+        );
+        // A policy that never plans leaves the linked instruction sequence
+        // untouched: bit-identical results.
+        assert_eq!(plain, planned);
     }
 
     #[test]

@@ -58,5 +58,5 @@ pub use link::{Command, Link, LinkStats, Response};
 pub use micro::{Microcontroller, StepReport};
 pub use pack::{PackBuilder, PackConfig};
 pub use profile::{ChargingProfile, ProfileKind};
-pub use snapshot::{PackSnapshot, TransferSnapshot, PACK_SNAPSHOT_VERSION};
+pub use snapshot::{fnv1a_64, PackSnapshot, TransferSnapshot, PACK_SNAPSHOT_VERSION};
 pub use soa::{QuiescenceConfig, SoaCohort};

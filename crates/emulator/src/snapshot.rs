@@ -31,6 +31,20 @@ use crate::micro::ThermalThrottle;
 /// Current snapshot format version (bumped on any layout change).
 pub const PACK_SNAPSHOT_VERSION: u32 = 1;
 
+/// FNV-1a 64-bit hash — the digest primitive for snapshot and campaign
+/// fingerprints. Stable across platforms (pure integer arithmetic over
+/// the byte stream), cheap, and good enough to flag any single-bit drift
+/// in a serialized snapshot.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Magic prefix for serialized snapshots.
 const MAGIC: &[u8; 8] = b"SDBSNAP\x01";
 
@@ -91,6 +105,16 @@ impl PackSnapshot {
     #[must_use]
     pub fn battery_count(&self) -> usize {
         self.cells.len()
+    }
+
+    /// The snapshot's FNV-1a 64 fingerprint over its serialized bytes.
+    /// Because [`PackSnapshot::to_bytes`] round-trips every `f64` bit
+    /// pattern exactly, two packs digest equal iff their entire mutable
+    /// state is bit-identical — the equality primitive campaign baselines
+    /// and cross-run differential checks are built on.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        fnv1a_64(&self.to_bytes())
     }
 
     /// Serializes to a self-describing little-endian byte string. Every
@@ -407,5 +431,31 @@ impl Reader<'_> {
             1 => Ok(true),
             t => Err(format!("bad bool byte {t}")),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Canonical FNV-1a 64 vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn digest_flags_any_single_bit_of_state() {
+        let mut s = PackSnapshot {
+            time_s: 12.5,
+            delivered_j: 3.0,
+            ..PackSnapshot::default()
+        };
+        let d0 = s.digest();
+        assert_eq!(d0, s.clone().digest(), "digest is a pure function");
+        s.delivered_j = f64::from_bits(s.delivered_j.to_bits() ^ 1);
+        assert_ne!(d0, s.digest(), "one ulp of drift must change the digest");
     }
 }

@@ -57,6 +57,39 @@ impl PackTemplate {
         }
     }
 
+    /// The same pack shape with each slot's chemistry substituted: slot
+    /// `i` takes `chems[i % chems.len()]`, keeping its capacity, initial
+    /// SoC, and charging profile. This is the chemistry axis of the
+    /// campaign matrix — one scenario's pack swept across the chemistry
+    /// library without disturbing the rest of the cell configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chems` is empty.
+    #[must_use]
+    pub fn with_chemistries(&self, chems: &[Chemistry]) -> Self {
+        assert!(!chems.is_empty(), "chemistry substitution needs a value");
+        Self {
+            batteries: self
+                .batteries
+                .iter()
+                .enumerate()
+                .map(|(i, slot)| {
+                    let chem = chems[i % chems.len()];
+                    BatterySlot {
+                        spec: Arc::new(BatterySpec::from_chemistry(
+                            &slot.spec.name,
+                            chem,
+                            slot.spec.capacity_ah,
+                        )),
+                        initial_soc: slot.initial_soc,
+                        profile: slot.profile,
+                    }
+                })
+                .collect(),
+        }
+    }
+
     /// The paper's §5.2 watch: 200 mAh Li-ion + 200 mAh bendable strap.
     #[must_use]
     pub fn watch() -> Self {
@@ -417,6 +450,26 @@ mod tests {
         assert!((frac(0) - 0.5).abs() < 0.03, "phone share {}", frac(0));
         assert!((frac(1) - 0.3).abs() < 0.03, "watch share {}", frac(1));
         assert!((frac(2) - 0.2).abs() < 0.03, "tablet share {}", frac(2));
+    }
+
+    #[test]
+    fn chemistry_substitution_keeps_shape_and_cycles_values() {
+        let base = PackTemplate::phone();
+        let sub = base.with_chemistries(&[Chemistry::Type1LfpPower, Chemistry::OtherLto]);
+        assert_eq!(sub.batteries.len(), base.batteries.len());
+        assert_eq!(sub.batteries[0].spec.chemistry, Chemistry::Type1LfpPower);
+        assert_eq!(sub.batteries[1].spec.chemistry, Chemistry::OtherLto);
+        for (s, b) in sub.batteries.iter().zip(&base.batteries) {
+            assert_eq!(s.spec.capacity_ah, b.spec.capacity_ah);
+            assert_eq!(s.initial_soc, b.initial_soc);
+            assert_eq!(s.profile, b.profile);
+        }
+        // A single chemistry fills every slot.
+        let mono = base.with_chemistries(&[Chemistry::OtherNmc]);
+        assert!(mono
+            .batteries
+            .iter()
+            .all(|s| s.spec.chemistry == Chemistry::OtherNmc));
     }
 
     #[test]

@@ -53,10 +53,16 @@ pub enum Phase {
     SoaStep = 16,
     /// One closed-form multi-tick advance of a quiescent SoA lane.
     FastForward = 17,
+    /// A whole `sdb campaign` matrix invocation (main thread:
+    /// orchestration, checkpoint I/O, baseline diffing).
+    CampaignRun = 18,
+    /// One matrix cell's device simulation (worker thread; wraps the
+    /// cell's scalar, SoA, or linked-chaos driver).
+    CampaignCell = 19,
 }
 
 /// Number of distinct phases (size of per-slot child tables).
-pub const PHASE_COUNT: usize = 18;
+pub const PHASE_COUNT: usize = 20;
 
 /// Every phase in enum (render) order.
 pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
@@ -78,6 +84,8 @@ pub const ALL_PHASES: [Phase; PHASE_COUNT] = [
     Phase::ReportMerge,
     Phase::SoaStep,
     Phase::FastForward,
+    Phase::CampaignRun,
+    Phase::CampaignCell,
 ];
 
 impl Phase {
@@ -105,6 +113,8 @@ impl Phase {
             Phase::ReportMerge => "report_merge",
             Phase::SoaStep => "soa_step",
             Phase::FastForward => "fast_forward",
+            Phase::CampaignRun => "campaign_run",
+            Phase::CampaignCell => "campaign_cell",
         }
     }
 

@@ -218,6 +218,29 @@ pub fn ingest(text: &str) -> Result<Vec<PerfMetric>, String> {
             }
             Ok(out)
         }
+        "campaign" => {
+            // `sdb campaign --bench-out` throughput facts: how fast the
+            // matrix orchestrator chews through cells and device sims.
+            // Wall-clock stays quarantined in the bench file; only the
+            // derived rates enter the longitudinal gate.
+            let mut out = Vec::new();
+            for (field, key) in [
+                ("cells_per_sec", "campaign.cells_per_sec"),
+                ("devices_per_sec", "campaign.devices_per_sec"),
+            ] {
+                if let Some(v) = doc.get(field).and_then(Value::as_f64) {
+                    out.push(PerfMetric {
+                        key: key.to_owned(),
+                        value: v,
+                        direction: Direction::HigherIsBetter,
+                    });
+                }
+            }
+            if out.is_empty() {
+                return Err("campaign bench without throughput fields".to_owned());
+            }
+            Ok(out)
+        }
         other => Err(format!("unknown bench kind {other:?}")),
     }
 }
@@ -452,6 +475,19 @@ mod tests {
         assert_eq!(fleet[1].direction, Direction::HigherIsBetter);
         assert!(ingest("{\"bench\":\"mystery\"}").is_err());
         assert!(ingest("not json").is_err());
+    }
+
+    #[test]
+    fn ingest_parses_campaign_throughput() {
+        let doc = r#"{"bench":"campaign","cells":48,"devices":96,"threads":4,"wall_s":1.5,"cells_per_sec":32.0,"devices_per_sec":64.0,"host_cpus":8}"#;
+        let metrics = ingest(doc).expect("campaign bench parses");
+        assert_eq!(metrics.len(), 2);
+        assert_eq!(metrics[0].key, "campaign.cells_per_sec");
+        assert_eq!(metrics[0].value, 32.0);
+        assert_eq!(metrics[0].direction, Direction::HigherIsBetter);
+        assert_eq!(metrics[1].key, "campaign.devices_per_sec");
+        // A campaign document without any rate is malformed.
+        assert!(ingest(r#"{"bench":"campaign","cells":48}"#).is_err());
     }
 
     #[test]

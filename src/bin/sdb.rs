@@ -22,9 +22,16 @@
 //!            [--engine scalar|soa] [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]
 //!            run a scenario under the phase profiler and print the hierarchical phase tree
 //!            (counts are bit-identical across thread counts; `flame` emits collapsed stacks)
-//! sdb perf   [--history PERF_HISTORY.jsonl] [--micro BENCH_micro.json] [--fleet BENCH_fleet.json]
+//! sdb perf   [--history PERF_HISTORY.jsonl] [--micro BENCH_micro.json] [--fleet BENCH_fleet.json] [--campaign BENCH_campaign.json]
 //!            [--baseline last|best] [--threshold 0.10] [--record] [--label <text>] [--inject <factor>]
 //!            compare bench results against recorded history; exits non-zero on regression
+//! sdb campaign [--scenarios a,b] [--chemistries a,b] [--faults a,b] [--policies a,b] [--engines scalar,soa]
+//!            [--seed N] [--hours H] [--devices-per-cell N] [--threads N] [--list]
+//!            [--checkpoint <path>] [--stop-after N] [--baseline <path>] [--write-baseline]
+//!            [--inject-divergence <cell-key>] [--format text|json|html] [--out <path>] [--bench-out <json>]
+//!            run the scenario × chemistry × fault × policy × engine matrix; byte-identical at any
+//!            --threads, resumable via --checkpoint, diffed against a committed golden baseline;
+//!            on divergence prints the minimized culprit cell + repro command and exits 2
 //! sdb --version                              print version, git hash, and rustc used
 //! ```
 
@@ -191,7 +198,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sdb packs | traces\n  sdb sim --pack <name> --trace <name> [--policy preserve|rbl|ccb|blend:<v>|planned|oracle] [--seed N] [--trace-file <csv>] [--events-out <jsonl>]\n  sdb charge --pack <name> --watts <W> [--directive <0..1>] [--target <pct>]\n  sdb status --pack <name> [--soc <0..1>]\n  sdb fleet --devices <N> [--threads <N>] [--seed <N>] [--hours <H>] [--policy greedy|planned|oracle] [--engine scalar|soa] [--json] [--out <path>] [--metrics-out <path>] [--events-out <jsonl>] [--trace-out <jsonl>]
-  sdb policy [--seed <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--policy greedy|planned|oracle] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb profile [--scenario fleet|sim|chaos|policy] [--devices <N>] [--threads <N>] [--seed <N>] [--hours <H>] [--policy ...] [--engine scalar|soa] [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]\n  sdb --version"
+  sdb policy [--seed <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb analyze --trace <jsonl> [--json] [--max-findings <N>]\n  sdb analyze --devices <N> [--seed <N>] [--hours <H>] [--threads <N>] [--json]\n  sdb chaos --devices <N> [--seed <N>] [--intensity <0..1>] [--hours <H>] [--load <W>] [--threads <N>] [--json] [--out <path>] [--metrics-out <path>]\n  sdb serve [--addr <host:port>] [--telemetry] [--policy greedy|planned|oracle] [--devices <N>] [--seed <N>] [--hours <H>] [--threads <N>] [--scrape-ms <ms>]\n  sdb profile [--scenario fleet|sim|chaos|policy] [--devices <N>] [--threads <N>] [--seed <N>] [--hours <H>] [--policy ...] [--engine scalar|soa] [--format text|counts|json|flame] [--out <path>] [--metrics-out <path>]\n  sdb perf [--history <jsonl>] [--micro <json>] [--fleet <json>] [--campaign <json>] [--baseline last|best] [--threshold <frac>] [--record] [--label <text>] [--inject <factor>]\n  sdb campaign [--scenarios <a,b>] [--chemistries <a,b>] [--faults <a,b>] [--policies <a,b>] [--engines <a,b>] [--seed <N>] [--hours <H>] [--devices-per-cell <N>] [--threads <N>] [--list] [--checkpoint <path>] [--stop-after <N>] [--baseline <path>] [--write-baseline] [--inject-divergence <key>] [--format text|json|html] [--out <path>] [--bench-out <json>]\n  sdb --version"
     );
     ExitCode::FAILURE
 }
@@ -905,7 +912,11 @@ fn cmd_perf(flags: &HashMap<String, String>) -> ExitCode {
         .map(String::as_str)
         .unwrap_or("PERF_HISTORY.jsonl");
     let mut metrics: Vec<perf::PerfMetric> = Vec::new();
-    for (flag, default) in [("micro", "BENCH_micro.json"), ("fleet", "BENCH_fleet.json")] {
+    for (flag, default) in [
+        ("micro", "BENCH_micro.json"),
+        ("fleet", "BENCH_fleet.json"),
+        ("campaign", "BENCH_campaign.json"),
+    ] {
         let path = flags.get(flag).map(String::as_str).unwrap_or(default);
         match std::fs::read_to_string(path) {
             Ok(text) => match perf::ingest(&text) {
@@ -1067,6 +1078,236 @@ fn cmd_policy(flags: &HashMap<String, String>) -> ExitCode {
         emit(&text);
     }
     ExitCode::SUCCESS
+}
+
+/// Parses a comma-separated axis flag, falling back to `default`.
+fn axis_list(flags: &HashMap<String, String>, key: &str, default: &[String]) -> Vec<String> {
+    match flags.get(key) {
+        Some(s) => s
+            .split(',')
+            .map(|v| v.trim().to_owned())
+            .filter(|v| !v.is_empty())
+            .collect(),
+        None => default.to_vec(),
+    }
+}
+
+/// Runs (or resumes) a campaign: the scenario × chemistry × fault ×
+/// policy × engine matrix, optionally checkpointed and compared against a
+/// committed golden baseline. Exit codes: 0 clean, 1 error, 2 baseline
+/// divergence (after printing the minimized culprit and its repro
+/// command), 3 interrupted by `--stop-after` (resume with the same
+/// `--checkpoint`).
+fn cmd_campaign(flags: &HashMap<String, String>) -> ExitCode {
+    use sdb::campaign::{self, CampaignOptions, CampaignRun, CampaignSpec};
+
+    let default = CampaignSpec::default();
+    let spec = CampaignSpec {
+        scenarios: axis_list(flags, "scenarios", &default.scenarios),
+        chemistries: axis_list(flags, "chemistries", &default.chemistries),
+        faults: axis_list(flags, "faults", &default.faults),
+        policies: axis_list(flags, "policies", &default.policies),
+        engines: axis_list(flags, "engines", &default.engines),
+        master_seed: flags
+            .get("seed")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default.master_seed),
+        hours: flags
+            .get("hours")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default.hours),
+        devices_per_cell: flags
+            .get("devices-per-cell")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default.devices_per_cell),
+    };
+    let cells = match spec.cells() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if flags.contains_key("list") {
+        let mut out = format!(
+            "campaign matrix: {} cells x {} devices (seed {}, {} h horizon)\n",
+            cells.len(),
+            spec.devices_per_cell,
+            spec.master_seed,
+            spec.hours
+        );
+        for c in &cells {
+            let _ = writeln!(out, "  [{:>3}] {}", c.index, c.key());
+        }
+        emit(&out);
+        return ExitCode::SUCCESS;
+    }
+
+    let stop_after = flags
+        .get("stop-after")
+        .and_then(|s| s.parse::<usize>().ok());
+    let checkpoint = flags.get("checkpoint").map(std::path::PathBuf::from);
+    if stop_after.is_some() && checkpoint.is_none() {
+        eprintln!(
+            "--stop-after requires --checkpoint: an interrupted run without a \
+             checkpoint saves nothing"
+        );
+        return ExitCode::FAILURE;
+    }
+    let threads: usize = flags
+        .get("threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let opts = CampaignOptions {
+        threads,
+        checkpoint,
+        stop_after,
+    };
+
+    let t0 = std::time::Instant::now();
+    let run = match campaign::run_campaign(&spec, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let report = match run {
+        CampaignRun::Complete(r) => *r,
+        CampaignRun::Interrupted { completed, total } => {
+            eprintln!(
+                "campaign interrupted: {completed}/{total} units checkpointed; \
+                 re-run with the same --checkpoint to resume"
+            );
+            return ExitCode::from(3);
+        }
+    };
+
+    if let Some(path) = flags.get("bench-out") {
+        let devices = cells.len() * spec.devices_per_cell;
+        let json = format!(
+            "{{\"bench\":\"campaign\",\"cells\":{},\"devices\":{},\"threads\":{},\
+             \"wall_s\":{:.6},\"cells_per_sec\":{:.6},\"devices_per_sec\":{:.6},\
+             \"host_cpus\":{}}}\n",
+            cells.len(),
+            devices,
+            threads,
+            wall_s,
+            cells.len() as f64 / wall_s.max(1e-9),
+            devices as f64 / wall_s.max(1e-9),
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        );
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("failed to write bench results to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote campaign bench results to {path}");
+    }
+
+    let format = flags.get("format").map(String::as_str).unwrap_or("text");
+    let body = match format {
+        "text" => report.render_text(),
+        "json" => {
+            let mut j = report.to_json();
+            j.push('\n');
+            j
+        }
+        "html" => report.render_html(),
+        other => {
+            eprintln!("unknown --format `{other}` (want text|json|html)");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = flags.get("out") {
+        if let Err(e) = std::fs::write(path, &body) {
+            eprintln!("failed to write report to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote campaign report to {path}");
+    } else {
+        emit(&body);
+    }
+
+    let Some(baseline_path) = flags.get("baseline") else {
+        if flags.contains_key("write-baseline") || flags.contains_key("inject-divergence") {
+            eprintln!("--write-baseline / --inject-divergence require --baseline <path>");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    };
+
+    if flags.contains_key("write-baseline") {
+        let text = campaign::Baseline::from_report(&report).render();
+        if let Err(e) = std::fs::write(baseline_path, text) {
+            eprintln!("failed to write baseline to {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote golden baseline ({} cells) to {baseline_path}",
+            report.cells.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut baseline = match campaign::Baseline::parse(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("cannot parse baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(key) = flags.get("inject-divergence") {
+        if let Err(e) = baseline.inject_divergence(key) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("injected a synthetic divergence into baseline cell {key} for self-test");
+    }
+    let cmp = match campaign::compare(&report, &baseline) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "baseline {baseline_path}: {} cells checked, {} new, {} divergent",
+        cmp.checked,
+        cmp.new_cells.len(),
+        cmp.divergences.len()
+    );
+    for d in &cmp.divergences {
+        let _ = writeln!(
+            out,
+            "  DIVERGED {:<44} expected {:016x} observed {:016x} ({} device{})",
+            d.key,
+            d.expected,
+            d.actual,
+            d.devices.len(),
+            if d.devices.len() == 1 { "" } else { "s" }
+        );
+    }
+    if cmp.divergences.is_empty() {
+        emit(&out);
+        return ExitCode::SUCCESS;
+    }
+    if let Some(culprit) = campaign::minimize(&spec, &report, &cmp.divergences, baseline_path) {
+        out.push_str(&culprit.render_text());
+    }
+    emit(&out);
+    ExitCode::from(2)
 }
 
 /// Runs one scenario under the phase profiler and renders the
@@ -1269,6 +1510,7 @@ fn main() -> ExitCode {
         Some("profile") => cmd_profile(&flags),
         Some("perf") => cmd_perf(&flags),
         Some("policy") => cmd_policy(&flags),
+        Some("campaign") => cmd_campaign(&flags),
         _ => usage(),
     }
 }

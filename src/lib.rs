@@ -40,6 +40,11 @@
 //!   into a preallocated slot table, deterministic call counts
 //!   quarantined from sampled wall-clock facts, per-shard and per-cohort
 //!   attribution, and the renderers behind `sdb profile` / `/profile`.
+//! * [`campaign`] — the resumable scenario × chemistry × fault × policy ×
+//!   engine matrix orchestrator behind `sdb campaign`: deterministic
+//!   sharded cell runner, snapshot-based checkpoints, committed golden
+//!   baselines with differential comparison, and culprit-cell
+//!   minimization that emits a ready-to-run repro command.
 //!
 //! ## Quickstart
 //!
@@ -76,6 +81,7 @@
 //! `sdb-bench` crate for the full figure-regeneration harness.
 
 pub use sdb_battery_model as battery_model;
+pub use sdb_campaign as campaign;
 pub use sdb_chaos as chaos;
 pub use sdb_core as core;
 pub use sdb_emulator as emulator;

@@ -9,7 +9,8 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-const EXAMPLES: [&str; 7] = [
+const EXAMPLES: [&str; 8] = [
+    "campaign_matrix",
     "ev_route",
     "fast_charge",
     "optimal_planning",
